@@ -1,0 +1,286 @@
+// Package picola's root benchmark harness regenerates the paper's
+// evaluation measurements as testing.B benchmarks:
+//
+//   - BenchmarkTable1 — the Table I experiment (cubes to implement the
+//     group constraints at minimum code length) for representative
+//     benchmarks under each encoder; the "cubes" metric is the table's
+//     column. The full 33-row table prints with: go run ./cmd/tables -table 1
+//   - BenchmarkTable2 — the Table II experiment (state assignment size);
+//     the "products" metric is the table's size column. Full table:
+//     go run ./cmd/tables -table 2
+//   - BenchmarkFigure1Example — the paper's worked example (Figure 1,
+//     Examples 1-4).
+//   - BenchmarkAblation — the design choices DESIGN.md calls out
+//     (guide-constraints, dynamic classification, the refinement passes,
+//     the variant portfolio), measured on one medium instance.
+//   - BenchmarkEspresso — the two-level minimizer substrate on symbolic
+//     FSM covers.
+package picola
+
+import (
+	"testing"
+
+	"picola/internal/baseline/enc"
+	"picola/internal/baseline/nova"
+	"picola/internal/benchgen"
+	"picola/internal/core"
+	"picola/internal/espresso"
+	"picola/internal/eval"
+	"picola/internal/face"
+	"picola/internal/power"
+	"picola/internal/stassign"
+	"picola/internal/symbolic"
+)
+
+// problemFor builds the Table I input-encoding instance of a benchmark.
+func problemFor(b *testing.B, name string) *face.Problem {
+	b.Helper()
+	spec, ok := benchgen.ByName(name)
+	if !ok {
+		b.Fatalf("unknown benchmark %q", name)
+	}
+	m := benchgen.Generate(spec)
+	p, _, err := symbolic.ExtractConstraints(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+func reportCubes(b *testing.B, p *face.Problem, e *face.Encoding) {
+	b.Helper()
+	c, err := eval.Evaluate(p, e)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(c.Total), "cubes")
+	b.ReportMetric(float64(c.SatisfiedCount), "satisfied")
+}
+
+// table1FSMs samples the suite across sizes; the cmd/tables harness runs
+// all 33 rows.
+var table1FSMs = []string{"bbara", "keyb", "dk16", "planet", "scf"}
+
+func BenchmarkTable1(b *testing.B) {
+	for _, name := range table1FSMs {
+		p := problemFor(b, name)
+		b.Run(name+"/picola", func(b *testing.B) {
+			var last *face.Encoding
+			for i := 0; i < b.N; i++ {
+				r, err := core.Encode(p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = r.Encoding
+			}
+			b.StopTimer()
+			reportCubes(b, p, last)
+		})
+		b.Run(name+"/nova", func(b *testing.B) {
+			var last *face.Encoding
+			for i := 0; i < b.N; i++ {
+				e, err := nova.Encode(p, nova.Options{Variant: nova.IHybrid, Seed: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = e
+			}
+			b.StopTimer()
+			reportCubes(b, p, last)
+		})
+		b.Run(name+"/enc", func(b *testing.B) {
+			var last *enc.Result
+			for i := 0; i < b.N; i++ {
+				r, err := enc.Encode(p, enc.Options{Seed: 1, Budget: 40000})
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = r
+			}
+			b.StopTimer()
+			reportCubes(b, p, last.Encoding)
+			if !last.Completed {
+				b.ReportMetric(1, "budget-exhausted")
+			}
+		})
+	}
+}
+
+// table2FSMs samples Table II; cmd/tables -table 2 runs all 19 rows.
+var table2FSMs = []string{"s386", "dk16", "tbk", "scf"}
+
+func BenchmarkTable2(b *testing.B) {
+	encoders := []struct {
+		name string
+		enc  stassign.Encoder
+	}{
+		{"nova-ih", stassign.NovaIH},
+		{"nova-ioh", stassign.NovaIOH},
+		{"new", stassign.Picola},
+	}
+	for _, name := range table2FSMs {
+		spec, _ := benchgen.ByName(name)
+		m := benchgen.Generate(spec)
+		for _, e := range encoders {
+			b.Run(name+"/"+e.name, func(b *testing.B) {
+				var rep *stassign.Report
+				for i := 0; i < b.N; i++ {
+					var err error
+					rep, err = stassign.Assign(m, stassign.Options{Encoder: e.enc, Seed: 1})
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(rep.Products), "products")
+				b.ReportMetric(float64(rep.Area), "area")
+			})
+		}
+	}
+}
+
+// figure1Problem is the paper's 15-symbol, 4-constraint worked example.
+func figure1Problem() *face.Problem {
+	p := &face.Problem{Name: "figure1", Names: make([]string, 15)}
+	mk := func(syms ...int) face.Constraint {
+		c := face.NewConstraint(15)
+		for _, s := range syms {
+			c.Add(s - 1)
+		}
+		return c
+	}
+	p.Constraints = []face.Constraint{
+		mk(2, 6, 8, 14), mk(1, 2), mk(9, 14), mk(6, 7, 8, 9, 14),
+	}
+	return p
+}
+
+func BenchmarkFigure1Example(b *testing.B) {
+	p := figure1Problem()
+	var last *face.Encoding
+	for i := 0; i < b.N; i++ {
+		r, err := core.Encode(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r.Encoding
+	}
+	b.StopTimer()
+	reportCubes(b, p, last)
+}
+
+// BenchmarkTable3 is the extension experiment (cmd/tables -table 3): the
+// code-length sweep showing the trade-off motivating the partial problem.
+// The reported metrics are for the full-satisfaction end of the sweep.
+func BenchmarkTable3(b *testing.B) {
+	for _, name := range []string{"bbara", "dk14"} {
+		p := problemFor(b, name)
+		b.Run(name+"/encode-all", func(b *testing.B) {
+			var r *core.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				r, err = core.EncodeAll(p)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(r.Encoding.NV), "bits")
+			b.ReportMetric(float64(p.MinLength()), "min-bits")
+		})
+	}
+}
+
+// BenchmarkTable4 is the power extension experiment (cmd/tables -table 4):
+// switching activity and product terms of area-driven vs low-power codes.
+func BenchmarkTable4(b *testing.B) {
+	for _, name := range []string{"bbara", "opus"} {
+		spec, _ := benchgen.ByName(name)
+		m := benchgen.Generate(spec)
+		mod, err := power.Build(m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name+"/picola", func(b *testing.B) {
+			var rep *stassign.Report
+			for i := 0; i < b.N; i++ {
+				rep, err = stassign.Assign(m, stassign.Options{Encoder: stassign.Picola})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(mod.Activity(rep.Encoding), "activity")
+			b.ReportMetric(float64(rep.Products), "products")
+		})
+		b.Run(name+"/low-power", func(b *testing.B) {
+			var low *face.Encoding
+			for i := 0; i < b.N; i++ {
+				low, err = power.Encode(mod, power.Options{Seed: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			min, _, err := stassign.MinimizeEncoded(m, low)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(mod.Activity(low), "activity")
+			b.ReportMetric(float64(min.Len()), "products")
+		})
+	}
+}
+
+// BenchmarkAblation quantifies the contribution of each design choice on
+// one medium instance (dk16: 27 states, the densest constraint set of the
+// medium tier).
+func BenchmarkAblation(b *testing.B) {
+	p := problemFor(b, "dk16")
+	variants := []struct {
+		name string
+		opts core.Options
+	}{
+		{"full", core.Options{}},
+		{"no-guides", core.Options{DisableGuides: true}},
+		{"no-classify", core.Options{DisableClassify: true}},
+		{"no-polish", core.Options{DisablePolish: true, ExactPolishBudget: -1}},
+		{"no-exact-polish", core.Options{ExactPolishBudget: -1}},
+		{"single-variant", core.Options{Restarts: 1}},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			var last *face.Encoding
+			for i := 0; i < b.N; i++ {
+				r, err := core.Encode(p, v.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = r.Encoding
+			}
+			b.StopTimer()
+			reportCubes(b, p, last)
+		})
+	}
+}
+
+// BenchmarkEspresso measures the two-level minimizer substrate on the
+// multi-valued symbolic covers the pipeline feeds it.
+func BenchmarkEspresso(b *testing.B) {
+	for _, name := range []string{"bbara", "keyb", "planet"} {
+		spec, _ := benchgen.ByName(name)
+		m := benchgen.Generate(spec)
+		sc, err := symbolic.Build(m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			var min int
+			for i := 0; i < b.N; i++ {
+				f := &espresso.Function{D: sc.D, On: sc.On, DC: sc.DC, Off: sc.Off}
+				mc, err := espresso.Minimize(f)
+				if err != nil {
+					b.Fatal(err)
+				}
+				min = mc.Len()
+			}
+			b.ReportMetric(float64(min), "terms")
+		})
+	}
+}

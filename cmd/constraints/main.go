@@ -1,0 +1,64 @@
+// Command constraints extracts the face-constrained encoding problem of a
+// KISS2 machine (or a named synthetic benchmark) and prints it in the
+// constraint-matrix file format cmd/picola consumes — the glue between
+// the symbolic front end and the encoders.
+//
+//	constraints machine.kiss            > machine.cons
+//	constraints -bench keyb             > keyb.cons
+//	constraints -bench keyb | picola -algo picola
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"picola/internal/benchgen"
+	"picola/internal/consfile"
+	"picola/internal/kiss"
+	"picola/internal/symbolic"
+)
+
+func main() {
+	bench := flag.String("bench", "", "use a named synthetic benchmark instead of a file")
+	flag.Parse()
+	var m *kiss.FSM
+	if *bench != "" {
+		spec, ok := benchgen.ByName(*bench)
+		if !ok {
+			fatal(fmt.Errorf("unknown benchmark %q", *bench))
+		}
+		m = benchgen.Generate(spec)
+	} else {
+		if flag.NArg() == 0 {
+			fatal(fmt.Errorf("need a KISS2 file or -bench name"))
+		}
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		var perr error
+		m, perr = kiss.Parse(f)
+		f.Close()
+		if perr != nil {
+			fatal(perr)
+		}
+		if m.Name == "" {
+			m.Name = flag.Arg(0)
+		}
+	}
+	p, implicants, err := symbolic.ExtractConstraints(m)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "constraints: %d states, %d minimized implicants, %d group constraints\n",
+		m.NumStates(), implicants, len(p.Constraints))
+	if err := consfile.Write(os.Stdout, p); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "constraints:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,103 @@
+// Command espresso minimizes a two-level cover in the Berkeley PLA format
+// (types f, fd, fr and fdr), printing the minimized PLA on stdout.
+//
+//	espresso [file.pla]        reads stdin without an argument
+//	espresso -stats file.pla   prints before/after statistics instead
+//	espresso -mv file.mv       multi-valued cover (.mv header, see
+//	                           internal/pla's MV format)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"picola/internal/cover"
+	"picola/internal/espresso"
+	"picola/internal/pla"
+)
+
+func main() {
+	stats := flag.Bool("stats", false, "print statistics instead of the minimized PLA")
+	mv := flag.Bool("mv", false, "input is a multi-valued cover file")
+	flag.Parse()
+	in := os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	if *mv {
+		minimizeMV(in, *stats)
+		return
+	}
+	p, err := pla.Parse(in)
+	if err != nil {
+		fatal(err)
+	}
+	on, dc, off := p.Function()
+	f := &espresso.Function{D: p.D, On: on, DC: dc, Off: off}
+	before := p.On.Len()
+	min, err := espresso.Minimize(f)
+	if err != nil {
+		fatal(err)
+	}
+	if err := espresso.Verify(min, f); err != nil {
+		fatal(fmt.Errorf("internal verification failed: %w", err))
+	}
+	if *stats {
+		fmt.Printf("inputs=%d outputs=%d terms: %d -> %d literals: %d\n",
+			p.NumInputs, p.NumOutputs, before, min.Len(), min.Literals())
+		return
+	}
+	out := pla.New(p.NumInputs, p.NumOutputs)
+	out.Type = pla.TypeFD
+	out.InLabels = p.InLabels
+	out.OutLabels = p.OutLabels
+	out.On = min
+	out.DC = cover.New(p.D)
+	if err := out.Write(os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+func minimizeMV(in *os.File, stats bool) {
+	p, err := pla.ParseMV(in)
+	if err != nil {
+		fatal(err)
+	}
+	var dc, off *cover.Cover
+	if p.DC.Len() > 0 {
+		dc = p.DC
+	}
+	if p.Off.Len() > 0 {
+		off = p.Off
+	}
+	f := &espresso.Function{D: p.D, On: p.On, DC: dc, Off: off}
+	before := p.On.Len()
+	min, err := espresso.Minimize(f)
+	if err != nil {
+		fatal(err)
+	}
+	if err := espresso.Verify(min, f); err != nil {
+		fatal(fmt.Errorf("internal verification failed: %w", err))
+	}
+	if stats {
+		fmt.Printf("vars=%v terms: %d -> %d literals: %d\n",
+			p.D.Sizes(), before, min.Len(), min.Literals())
+		return
+	}
+	out := pla.NewMV(p.D)
+	out.On = min
+	if err := out.Write(os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "espresso:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,74 @@
+// Command fsmgen emits the synthetic IWLS'93-style benchmark suite as
+// KISS2 files.
+//
+//	fsmgen -name bbara           print one machine on stdout
+//	fsmgen -all -dir bench/      write the whole suite to a directory
+//	fsmgen -list                 list the suite with its dimensions
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"picola/internal/benchgen"
+)
+
+func main() {
+	name := flag.String("name", "", "benchmark to print on stdout")
+	all := flag.Bool("all", false, "write the whole suite")
+	dir := flag.String("dir", ".", "output directory for -all")
+	list := flag.Bool("list", false, "list the suite")
+	dot := flag.Bool("dot", false, "emit Graphviz DOT instead of KISS2 (with -name)")
+	flag.Parse()
+	switch {
+	case *list:
+		fmt.Printf("%-10s %3s %3s %6s %8s %7s %7s\n",
+			"name", "in", "out", "states", "products", "table1", "table2")
+		for _, s := range benchgen.Suite {
+			fmt.Printf("%-10s %3d %3d %6d %8d %7v %7v\n",
+				s.Name, s.Inputs, s.Outputs, s.States, s.Products, s.Table1, s.Table2)
+		}
+	case *name != "":
+		spec, ok := benchgen.ByName(*name)
+		if !ok {
+			fatal(fmt.Errorf("unknown benchmark %q", *name))
+		}
+		m := benchgen.Generate(spec)
+		if *dot {
+			if err := m.WriteDOT(os.Stdout); err != nil {
+				fatal(err)
+			}
+			return
+		}
+		if err := m.Write(os.Stdout); err != nil {
+			fatal(err)
+		}
+	case *all:
+		if err := os.MkdirAll(*dir, 0o755); err != nil {
+			fatal(err)
+		}
+		for _, spec := range benchgen.Suite {
+			path := filepath.Join(*dir, spec.Name+".kiss2")
+			f, err := os.Create(path)
+			if err != nil {
+				fatal(err)
+			}
+			if err := benchgen.Generate(spec).Write(f); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			f.Close()
+			fmt.Println("wrote", path)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fsmgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,116 @@
+// Command picola encodes a set of symbols under face constraints using
+// minimum code length.
+//
+// The input (stdin or a file argument) is a constraint-matrix file (see
+// internal/consfile):
+//
+//	# comment
+//	.symbols s1 s2 s3 s4 s5     (optional; defaults to S0..Sn-1)
+//	11000                        one row per group constraint; a trailing
+//	00110 2                      integer is the constraint's weight
+//
+// Flags select the algorithm (picola, nova, enc, optimal, all), an
+// optional code-length override, and whether to print the per-constraint
+// cube evaluation. "optimal" is the exhaustive reference (≤ 8 symbols);
+// "all" grows the length until every constraint is satisfied.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"picola/internal/baseline/enc"
+	"picola/internal/baseline/nova"
+	"picola/internal/consfile"
+	"picola/internal/core"
+	"picola/internal/eval"
+	"picola/internal/face"
+	"picola/internal/optenc"
+)
+
+func main() {
+	algo := flag.String("algo", "picola", "encoder: picola, nova, enc, optimal or all")
+	nv := flag.Int("nv", 0, "code length override (0 = minimum)")
+	seed := flag.Int64("seed", 1, "seed for the randomized encoders")
+	evaluate := flag.Bool("eval", true, "print the per-constraint cube evaluation")
+	flag.Parse()
+
+	in := os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	p, err := consfile.Parse(in)
+	if err != nil {
+		fatal(err)
+	}
+	var e *face.Encoding
+	switch *algo {
+	case "picola":
+		r, err := core.Encode(p, core.Options{NV: *nv})
+		if err != nil {
+			fatal(err)
+		}
+		e = r.Encoding
+	case "nova":
+		e, err = nova.Encode(p, nova.Options{Seed: *seed, NV: *nv})
+		if err != nil {
+			fatal(err)
+		}
+	case "enc":
+		r, err := enc.Encode(p, enc.Options{Seed: *seed, NV: *nv})
+		if err != nil {
+			fatal(err)
+		}
+		if !r.Completed {
+			fmt.Fprintln(os.Stderr, "picola: warning: enc search ran out of budget")
+		}
+		e = r.Encoding
+	case "optimal":
+		r, err := optenc.Optimal(p)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "picola: exhaustive optimum over %d encodings: %d cubes\n",
+			r.Evaluated, r.Cubes)
+		e = r.Encoding
+	case "all":
+		r, err := core.EncodeAll(p)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "picola: full satisfaction at %d bits (minimum %d)\n",
+			r.Encoding.NV, p.MinLength())
+		e = r.Encoding
+	default:
+		fatal(fmt.Errorf("unknown algorithm %q", *algo))
+	}
+	for s := 0; s < p.N(); s++ {
+		fmt.Printf("%-12s %s\n", p.Names[s], e.CodeString(s))
+	}
+	if *evaluate {
+		c, err := eval.Evaluate(p, e)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nconstraints: %d  satisfied: %d  cubes: %d (weighted %d)\n",
+			len(p.Constraints), c.SatisfiedCount, c.Total, c.WeightedTotal)
+		for i, k := range c.Cubes {
+			status := "satisfied"
+			if !e.Satisfied(p.Constraints[i]) {
+				status = "violated"
+			}
+			fmt.Printf("  %s  cubes=%d  %s\n", p.Constraints[i], k, status)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "picola:", err)
+	os.Exit(1)
+}

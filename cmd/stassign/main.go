@@ -1,0 +1,156 @@
+// Command stassign runs the PICOLA-based state-assignment tool on a KISS2
+// machine: it extracts face constraints, encodes the states at minimum
+// code length, and minimizes the encoded two-level implementation.
+//
+//	stassign machine.kiss              assign with PICOLA
+//	stassign -encoder nova-ih -bench keyb
+//	stassign -pla out.pla machine.kiss also write the minimized PLA
+//	stassign -compare machine.kiss     compare all encoders
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"picola/internal/benchgen"
+	"picola/internal/blif"
+	"picola/internal/kiss"
+	"picola/internal/pla"
+	"picola/internal/stassign"
+	"picola/internal/statemin"
+)
+
+var encoderNames = map[string]stassign.Encoder{
+	"picola":   stassign.Picola,
+	"nova-ih":  stassign.NovaIH,
+	"nova-ioh": stassign.NovaIOH,
+	"enc":      stassign.Enc,
+	"natural":  stassign.Natural,
+	"optimal":  stassign.Optimal,
+}
+
+func main() {
+	encName := flag.String("encoder", "picola", "picola, nova-ih, nova-ioh, enc, natural or optimal (≤8 states)")
+	bench := flag.String("bench", "", "use a named synthetic benchmark instead of a file")
+	plaOut := flag.String("pla", "", "write the minimized encoded PLA to this file")
+	blifOut := flag.String("blif", "", "write the encoded machine as a BLIF netlist to this file")
+	compare := flag.Bool("compare", false, "run every encoder and compare")
+	reduce := flag.Bool("reduce", false, "merge compatible states before assignment")
+	seed := flag.Int64("seed", 1, "seed for the randomized encoders")
+	flag.Parse()
+
+	m, err := loadMachine(*bench, flag.Args())
+	if err != nil {
+		fatal(err)
+	}
+	if *reduce {
+		red, _, err := statemin.ReduceCompatible(m)
+		if err != nil {
+			fatal(err)
+		}
+		if red.NumStates() < m.NumStates() {
+			fmt.Printf("state reduction: %d -> %d states\n", m.NumStates(), red.NumStates())
+		}
+		m = red
+	}
+	if *compare {
+		for _, name := range []string{"picola", "nova-ih", "nova-ioh", "enc", "natural"} {
+			rep, err := stassign.Assign(m, stassign.Options{Encoder: encoderNames[name], Seed: *seed})
+			if err != nil {
+				fatal(fmt.Errorf("%s: %w", name, err))
+			}
+			fmt.Printf("%-9s products=%-5d area=%-6d satisfied=%d/%d time=%v\n",
+				name, rep.Products, rep.Area, rep.SatisfiedConstraints,
+				rep.Constraints, rep.TotalTime.Round(1e6))
+		}
+		return
+	}
+	encoder, ok := encoderNames[*encName]
+	if !ok {
+		fatal(fmt.Errorf("unknown encoder %q", *encName))
+	}
+	rep, err := stassign.Assign(m, stassign.Options{Encoder: encoder, Seed: *seed})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("machine: %s  states=%d  constraints=%d (satisfied %d)\n",
+		rep.Name, rep.States, rep.Constraints, rep.SatisfiedConstraints)
+	fmt.Println("state codes:")
+	for i, st := range m.States {
+		fmt.Printf("  %-12s %s\n", st, rep.Encoding.CodeString(i))
+	}
+	fmt.Printf("two-level implementation: %d product terms, PLA area %d\n",
+		rep.Products, rep.Area)
+	fmt.Printf("time: encode %v, total %v\n",
+		rep.EncodeTime.Round(1e6), rep.TotalTime.Round(1e6))
+	if *blifOut != "" {
+		min, d, err := stassign.MinimizeEncoded(m, rep.Encoding)
+		if err != nil {
+			fatal(err)
+		}
+		mod := blif.FromEncoded(m, rep.Encoding, d, min)
+		f, err := os.Create(*blifOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := mod.Write(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		f.Close()
+		fmt.Println("wrote", *blifOut)
+	}
+	if *plaOut != "" {
+		min, d, err := stassign.MinimizeEncoded(m, rep.Encoding)
+		if err != nil {
+			fatal(err)
+		}
+		ni := m.NumInputs + rep.Encoding.NV
+		no := rep.Encoding.NV + m.NumOutputs
+		out := pla.New(ni, no)
+		out.Type = pla.TypeFD
+		out.On = min
+		_ = d
+		f, err := os.Create(*plaOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := out.Write(f); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", *plaOut)
+	}
+}
+
+func loadMachine(bench string, args []string) (*kiss.FSM, error) {
+	if bench != "" {
+		spec, ok := benchgen.ByName(bench)
+		if !ok {
+			return nil, fmt.Errorf("unknown benchmark %q", bench)
+		}
+		return benchgen.Generate(spec), nil
+	}
+	if len(args) == 0 {
+		return nil, fmt.Errorf("need a KISS2 file or -bench name")
+	}
+	f, err := os.Open(args[0])
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	m, err := kiss.Parse(f)
+	if err != nil {
+		return nil, err
+	}
+	if m.Name == "" {
+		m.Name = args[0]
+	}
+	return m, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "stassign:", err)
+	os.Exit(1)
+}

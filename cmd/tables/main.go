@@ -1,0 +1,386 @@
+// Command tables regenerates the paper's evaluation tables on the
+// synthetic benchmark suite.
+//
+//	tables -table 1    reproduce Table I  (constraint-implementation cubes:
+//	                   NOVA vs ENC vs PICOLA at minimum code length)
+//	tables -table 2    reproduce Table II (state assignment: two-level size
+//	                   and normalized runtime for NOVA-ih, NOVA-ioh, NEW)
+//
+// Rows print in the paper's order; totals and win/loss summaries follow.
+// Absolute values differ from the paper's (the suite is synthetic; see
+// DESIGN.md §4) — the comparisons are the reproduction target.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"picola/internal/baseline/enc"
+	"picola/internal/baseline/nova"
+	"picola/internal/benchgen"
+	"picola/internal/core"
+	"picola/internal/eval"
+	"picola/internal/power"
+	"picola/internal/report"
+	"picola/internal/stassign"
+	"picola/internal/symbolic"
+)
+
+func main() {
+	table := flag.Int("table", 1, "table to regenerate: 1, 2 (paper), 3, 4 (extensions)")
+	only := flag.String("fsm", "", "restrict to one benchmark by name")
+	seed := flag.Int64("seed", 1, "seed for the randomized baselines")
+	encBudget := flag.Int("encbudget", 40000, "ENC espresso-evaluation budget (table 1)")
+	workers := flag.Int("workers", 1, "benchmarks evaluated concurrently (timing columns are only meaningful at 1)")
+	formatName := flag.String("format", "text", "output format: text, md or csv")
+	flag.Parse()
+	var ferr error
+	outFormat, ferr = report.ParseFormat(*formatName)
+	if ferr != nil {
+		fmt.Fprintln(os.Stderr, "tables:", ferr)
+		os.Exit(2)
+	}
+	maxWorkers = *workers
+	if maxWorkers < 1 {
+		maxWorkers = 1
+	}
+	var err error
+	switch *table {
+	case 1:
+		err = table1(*only, *seed, *encBudget)
+	case 2:
+		err = table2(*only, *seed)
+	case 3:
+		err = table3(*only)
+	case 4:
+		err = table4(*only)
+	default:
+		err = fmt.Errorf("unknown table %d", *table)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tables:", err)
+		os.Exit(1)
+	}
+}
+
+type table1Row struct {
+	name                string
+	constraints         int
+	novaCubes, picCubes int
+	encCubes            int
+	encCompleted        bool
+	tNova, tEnc, tPic   time.Duration
+}
+
+func table1Compute(spec benchgen.Spec, seed int64, encBudget int) (*table1Row, error) {
+	m := benchgen.Generate(spec)
+	prob, _, err := symbolic.ExtractConstraints(m)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", spec.Name, err)
+	}
+	row := &table1Row{name: spec.Name, constraints: len(prob.Constraints)}
+
+	t0 := time.Now()
+	novaEnc, err := nova.Encode(prob, nova.Options{Variant: nova.IHybrid, Seed: seed})
+	if err != nil {
+		return nil, fmt.Errorf("%s nova: %w", spec.Name, err)
+	}
+	row.tNova = time.Since(t0)
+	novaCost, err := eval.Evaluate(prob, novaEnc)
+	if err != nil {
+		return nil, err
+	}
+	row.novaCubes = novaCost.Total
+
+	t0 = time.Now()
+	encRes, err := enc.Encode(prob, enc.Options{Seed: seed, Budget: encBudget})
+	if err != nil {
+		return nil, fmt.Errorf("%s enc: %w", spec.Name, err)
+	}
+	row.tEnc = time.Since(t0)
+	row.encCubes = encRes.Cost
+	row.encCompleted = encRes.Completed
+
+	t0 = time.Now()
+	picRes, err := core.Encode(prob)
+	if err != nil {
+		return nil, fmt.Errorf("%s picola: %w", spec.Name, err)
+	}
+	row.tPic = time.Since(t0)
+	picCost, err := eval.Evaluate(prob, picRes.Encoding)
+	if err != nil {
+		return nil, err
+	}
+	row.picCubes = picCost.Total
+	return row, nil
+}
+
+func table1(only string, seed int64, encBudget int) error {
+	tab := &report.Table{
+		Title:  "Table I — cubes to implement the group constraints at minimum code length",
+		Header: []string{"FSM", "const", "NOVA", "ENC", "PICOLA", "t_nova", "t_enc", "t_picola"},
+	}
+	var specs []benchgen.Spec
+	for _, spec := range benchgen.Table1Specs() {
+		if only == "" || spec.Name == only {
+			specs = append(specs, spec)
+		}
+	}
+	rows, err := forEach(specs, func(spec benchgen.Spec) (*table1Row, error) {
+		return table1Compute(spec, seed, encBudget)
+	})
+	if err != nil {
+		return err
+	}
+	var totNova, totEnc, totPic int
+	var winsPic, winsNova, encFails int
+	encComparable := true
+	for _, row := range rows {
+		encCol := fmt.Sprintf("%d", row.encCubes)
+		if !row.encCompleted {
+			encCol = "fails"
+			encComparable = false
+			encFails++
+		} else {
+			totEnc += row.encCubes
+		}
+		totNova += row.novaCubes
+		totPic += row.picCubes
+		switch {
+		case row.picCubes < row.novaCubes:
+			winsPic++
+		case row.novaCubes < row.picCubes:
+			winsNova++
+		}
+		tab.Add(row.name, fmt.Sprint(row.constraints), fmt.Sprint(row.novaCubes), encCol,
+			fmt.Sprint(row.picCubes), round(row.tNova).String(), round(row.tEnc).String(),
+			round(row.tPic).String())
+	}
+	tab.Footer = append(tab.Footer, fmt.Sprintf("Totals: NOVA=%d PICOLA=%d (NOVA/PICOLA = %.2f)",
+		totNova, totPic, ratio(totNova, totPic)))
+	if encComparable {
+		tab.Footer = append(tab.Footer, fmt.Sprintf("ENC=%d (completed all instances)", totEnc))
+	} else {
+		tab.Footer = append(tab.Footer, fmt.Sprintf(
+			"ENC failed (budget exhausted) on %d instance(s); completed total=%d", encFails, totEnc))
+	}
+	tab.Footer = append(tab.Footer, fmt.Sprintf(
+		"PICOLA better on %d, NOVA better on %d, ties on the rest", winsPic, winsNova))
+	return tab.Render(os.Stdout, outFormat)
+}
+
+func table2(only string, seed int64) error {
+	tab := &report.Table{
+		Title:  "Table II — state assignment: two-level size and time, normalized to NOVA-ih",
+		Header: []string{"FSM", "ih", "t", "ioh", "t", "NEW", "t"},
+	}
+	var totIH, totIOH, totNew int
+	for _, spec := range benchgen.Table2Specs() {
+		if only != "" && spec.Name != only {
+			continue
+		}
+		m := benchgen.Generate(spec)
+		ih, err := stassign.Assign(m, stassign.Options{Encoder: stassign.NovaIH, Seed: seed})
+		if err != nil {
+			return fmt.Errorf("%s ih: %w", spec.Name, err)
+		}
+		ioh, err := stassign.Assign(m, stassign.Options{Encoder: stassign.NovaIOH, Seed: seed})
+		if err != nil {
+			return fmt.Errorf("%s ioh: %w", spec.Name, err)
+		}
+		neu, err := stassign.Assign(m, stassign.Options{Encoder: stassign.Picola, Seed: seed})
+		if err != nil {
+			return fmt.Errorf("%s new: %w", spec.Name, err)
+		}
+		base := ih.TotalTime
+		tab.Add(spec.Name,
+			fmt.Sprint(ih.Products), "1.00",
+			fmt.Sprint(ioh.Products), fmt.Sprintf("%.2f", timeRatio(ioh.TotalTime, base)),
+			fmt.Sprint(neu.Products), fmt.Sprintf("%.2f", timeRatio(neu.TotalTime, base)))
+		totIH += ih.Products
+		totIOH += ioh.Products
+		totNew += neu.Products
+	}
+	tab.Footer = append(tab.Footer,
+		fmt.Sprintf("Total products: NOVA-ih=%d NOVA-ioh=%d NEW=%d", totIH, totIOH, totNew),
+		fmt.Sprintf("Size ratios vs NEW: ih=%.3f ioh=%.3f", ratio(totIH, totNew), ratio(totIOH, totNew)))
+	return tab.Render(os.Stdout, outFormat)
+}
+
+func timeRatio(a, b time.Duration) float64 {
+	if b <= 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+func ratio(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+func round(d time.Duration) time.Duration { return d.Round(time.Millisecond) }
+
+// table3 is the extension experiment motivating the partial problem: for
+// each machine, sweep the code length from the minimum to the width at
+// which every face constraint is satisfiable, reporting the constraint
+// cost, the encoded machine's product terms, and the PLA area. Full
+// satisfaction trades fewer product terms against wider PLAs — usually a
+// net loss, which is why minimum-length (partial) encoding is standard.
+func table3(only string) error {
+	fsms := []string{"bbara", "dk14", "ex3", "opus", "dk16", "keyb"}
+	if only != "" {
+		fsms = []string{only}
+	}
+	fmt.Println("Table III (extension) — code length vs. cost trade-off (PICOLA at each length)")
+	fmt.Printf("%-10s %4s %7s %10s %10s %9s %14s\n",
+		"FSM", "nv", "sat", "cons.cubes", "products", "area", "note")
+	for _, name := range fsms {
+		spec, ok := benchgen.ByName(name)
+		if !ok {
+			return fmt.Errorf("unknown benchmark %q", name)
+		}
+		m := benchgen.Generate(spec)
+		prob, _, err := symbolic.ExtractConstraints(m)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		full, err := core.EncodeAll(prob)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		maxNV := full.Encoding.NV
+		for nv := prob.MinLength(); nv <= maxNV; nv++ {
+			var r *core.Result
+			if nv == maxNV {
+				r = full
+			} else {
+				r, err = core.Encode(prob, core.Options{NV: nv})
+				if err != nil {
+					return fmt.Errorf("%s nv=%d: %w", name, nv, err)
+				}
+			}
+			satisfied := 0
+			for _, c := range prob.Constraints {
+				if r.Encoding.Satisfied(c) {
+					satisfied++
+				}
+			}
+			// The constraint-cube column uses the exact evaluator, which
+			// is only cheap at narrow code spaces; wider rows print "-".
+			cubesCol := "-"
+			if nv <= 11 {
+				cost, err := eval.Evaluate(prob, r.Encoding)
+				if err != nil {
+					return err
+				}
+				cubesCol = fmt.Sprintf("%d", cost.Total)
+			}
+			min, _, err := stassign.MinimizeEncoded(m, r.Encoding)
+			if err != nil {
+				return fmt.Errorf("%s nv=%d: %w", name, nv, err)
+			}
+			area := min.Len() * (2*(m.NumInputs+nv) + nv + m.NumOutputs)
+			note := ""
+			if nv == prob.MinLength() {
+				note = "minimum"
+			}
+			if satisfied == len(prob.Constraints) {
+				note = "all satisfied"
+			}
+			fmt.Printf("%-10s %4d %3d/%-3d %10s %10d %9d %14s\n",
+				name, nv, satisfied, len(prob.Constraints),
+				cubesCol, min.Len(), area, note)
+			if satisfied == len(prob.Constraints) {
+				break
+			}
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+// maxWorkers is set from the -workers flag; outFormat from -format.
+var (
+	maxWorkers = 1
+	outFormat  = report.Text
+)
+
+// forEach maps fn over the specs, up to maxWorkers concurrently, and
+// returns the results in input order. The first error wins.
+func forEach[T any](specs []benchgen.Spec, fn func(benchgen.Spec) (T, error)) ([]T, error) {
+	results := make([]T, len(specs))
+	errs := make([]error, len(specs))
+	sem := make(chan struct{}, maxWorkers)
+	var wg sync.WaitGroup
+	for i, spec := range specs {
+		wg.Add(1)
+		go func(i int, spec benchgen.Spec) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i], errs[i] = fn(spec)
+		}(i, spec)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// table4 is the power extension experiment: the switching activity of the
+// state register (expected flip-flop toggles per cycle under random
+// inputs, Markov steady state) and the product-term cost, for PICOLA's
+// area-driven codes versus the low-power annealer's codes. The classical
+// result reproduced here is the tension between the two objectives.
+func table4(only string) error {
+	fsms := []string{"bbara", "dk14", "ex3", "opus", "keyb", "dk16", "planet"}
+	if only != "" {
+		fsms = []string{only}
+	}
+	tab := &report.Table{
+		Title:  "Table IV (extension) — area-driven vs low-power state codes",
+		Header: []string{"FSM", "act(picola)", "products", "act(power)", "products", "act.save"},
+	}
+	for _, name := range fsms {
+		spec, ok := benchgen.ByName(name)
+		if !ok {
+			return fmt.Errorf("unknown benchmark %q", name)
+		}
+		m := benchgen.Generate(spec)
+		mod, err := power.Build(m)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		rep, err := stassign.Assign(m, stassign.Options{Encoder: stassign.Picola})
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		low, err := power.Encode(mod, power.Options{Seed: 1})
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		minLow, _, err := stassign.MinimizeEncoded(m, low)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		actPic := mod.Activity(rep.Encoding)
+		actLow := mod.Activity(low)
+		save := 0.0
+		if actPic > 0 {
+			save = 100 * (actPic - actLow) / actPic
+		}
+		tab.Add(name, fmt.Sprintf("%.3f", actPic), fmt.Sprint(rep.Products),
+			fmt.Sprintf("%.3f", actLow), fmt.Sprint(minLow.Len()),
+			fmt.Sprintf("%.1f%%", save))
+	}
+	return tab.Render(os.Stdout, outFormat)
+}

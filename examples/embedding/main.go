@@ -1,0 +1,78 @@
+// Embedding explores the full-satisfaction side of the problem the paper
+// argues against: how many code bits does it take to satisfy every face
+// constraint, and what does that do to the implementation? The example
+// compares the exact minimum embedding length (branch-and-bound,
+// internal/embed) with the heuristic search (core.EncodeAll) on the
+// paper's worked example and on small benchmark-derived problems, and
+// prints the cost sweep in between.
+//
+//	go run ./examples/embedding
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"picola/internal/benchgen"
+	"picola/internal/core"
+	"picola/internal/embed"
+	"picola/internal/eval"
+	"picola/internal/face"
+	"picola/internal/symbolic"
+)
+
+func main() {
+	// The paper's Figure 1 constraints: L4 is infeasible at the minimum
+	// length 4, so full satisfaction costs at least one more bit.
+	p := &face.Problem{Name: "figure1", Names: make([]string, 15)}
+	mk := func(syms ...int) face.Constraint {
+		c := face.NewConstraint(15)
+		for _, s := range syms {
+			c.Add(s - 1)
+		}
+		return c
+	}
+	p.Constraints = []face.Constraint{
+		mk(2, 6, 8, 14), mk(1, 2), mk(9, 14), mk(6, 7, 8, 9, 14),
+	}
+	explore(p)
+
+	// And two benchmark-derived instances.
+	for _, name := range []string{"s8", "ex5"} {
+		spec, _ := benchgen.ByName(name)
+		prob, _, err := symbolic.ExtractConstraints(benchgen.Generate(spec))
+		if err != nil {
+			log.Fatal(err)
+		}
+		prob.Name = name
+		explore(prob)
+	}
+}
+
+func explore(p *face.Problem) {
+	fmt.Printf("== %s: %d symbols, %d constraints, minimum length %d\n",
+		p.Name, p.N(), len(p.Constraints), p.MinLength())
+	exactNV, _, res, err := embed.MinLength(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("   exact full-satisfaction length: %d (%v)\n", exactNV, res)
+	full, err := core.EncodeAll(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("   heuristic full-satisfaction length: %d\n", full.Encoding.NV)
+	for nv := p.MinLength(); nv <= full.Encoding.NV; nv++ {
+		r, err := core.Encode(p, core.Options{NV: nv})
+		if err != nil {
+			log.Fatal(err)
+		}
+		c, err := eval.Evaluate(p, r.Encoding)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("   nv=%d satisfied=%d/%d cubes=%d\n",
+			nv, c.SatisfiedCount, len(p.Constraints), c.Total)
+	}
+	fmt.Println()
+}

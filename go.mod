@@ -1,0 +1,3 @@
+module picola
+
+go 1.22

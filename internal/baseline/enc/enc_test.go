@@ -1,0 +1,99 @@
+package enc
+
+import (
+	"testing"
+
+	"picola/internal/eval"
+	"picola/internal/face"
+)
+
+func smallProblem() *face.Problem {
+	p := &face.Problem{Names: make([]string, 8)}
+	p.AddConstraint(face.FromMembers(8, 0, 1, 2, 3))
+	p.AddConstraint(face.FromMembers(8, 2, 3, 4))
+	p.AddConstraint(face.FromMembers(8, 6, 7))
+	return p
+}
+
+func TestEncodeCompletesSmall(t *testing.T) {
+	p := smallProblem()
+	r, err := Encode(p, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Completed {
+		t.Fatalf("small problem must converge (evals=%d)", r.Evaluations)
+	}
+	if !r.Encoding.Injective() {
+		t.Fatal("codes must stay distinct")
+	}
+	c, err := eval.Evaluate(p, r.Encoding)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Total != r.Cost {
+		t.Fatalf("reported cost %d, evaluated %d", r.Cost, c.Total)
+	}
+}
+
+func TestEncodeImprovesOverIdentity(t *testing.T) {
+	p := smallProblem()
+	identity := face.NewEncoding(8, 3)
+	for s := 0; s < 8; s++ {
+		identity.Codes[s] = uint64(s)
+	}
+	base, err := eval.Evaluate(p, identity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Encode(p, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cost > base.Total {
+		t.Fatalf("search made it worse: %d > %d", r.Cost, base.Total)
+	}
+}
+
+func TestBudgetExhaustionReported(t *testing.T) {
+	// A 16-symbol problem with several constraints and a tiny budget must
+	// report an incomplete run.
+	p := &face.Problem{Names: make([]string, 16)}
+	p.AddConstraint(face.FromMembers(16, 0, 1, 2, 3, 4))
+	p.AddConstraint(face.FromMembers(16, 5, 6, 7, 8))
+	p.AddConstraint(face.FromMembers(16, 9, 10, 11))
+	p.AddConstraint(face.FromMembers(16, 12, 13))
+	r, err := Encode(p, Options{Seed: 1, Budget: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Completed {
+		t.Fatal("budget 10 cannot complete this search")
+	}
+	if r.Evaluations < 4 {
+		t.Fatalf("evaluations = %d", r.Evaluations)
+	}
+	if !r.Encoding.Injective() {
+		t.Fatal("even an incomplete run must return a valid encoding")
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	p := smallProblem()
+	a, err := Encode(p, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Encode(p, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range a.Encoding.Codes {
+		if a.Encoding.Codes[s] != b.Encoding.Codes[s] {
+			t.Fatal("same seed must give the same encoding")
+		}
+	}
+	if a.Cost != b.Cost || a.Evaluations != b.Evaluations {
+		t.Fatal("run statistics must be deterministic")
+	}
+}

@@ -1,0 +1,79 @@
+package nova
+
+import (
+	"math/rand"
+	"testing"
+
+	"picola/internal/face"
+)
+
+// randomProblem builds a random constraint set over n symbols.
+func randomProblem(r *rand.Rand, n int) *face.Problem {
+	p := &face.Problem{Names: make([]string, n)}
+	for k := 0; k < 2+r.Intn(6); k++ {
+		c := face.NewConstraint(n)
+		for s := 0; s < n; s++ {
+			if r.Intn(3) == 0 {
+				c.Add(s)
+			}
+		}
+		p.AddConstraint(c)
+	}
+	return p
+}
+
+// TestIncrementalStateMatchesRecompute drives the annealer's cached state
+// through random swap and move operations and checks the intruder counts
+// against a from-scratch recomputation after every step.
+func TestIncrementalStateMatchesRecompute(t *testing.T) {
+	r := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 40; trial++ {
+		n := 4 + r.Intn(12)
+		nv := 0
+		for (1 << nv) < n {
+			nv++
+		}
+		p := randomProblem(r, n)
+		if len(p.Constraints) == 0 {
+			continue
+		}
+		e := face.NewEncoding(n, nv)
+		perm := r.Perm(1 << uint(nv))
+		for s := 0; s < n; s++ {
+			e.Codes[s] = uint64(perm[s])
+		}
+		var spares []uint64
+		for code := n; code < 1<<uint(nv); code++ {
+			spares = append(spares, uint64(perm[code]))
+		}
+		st := newState(p, e, Options{})
+		for step := 0; step < 60; step++ {
+			if len(spares) > 0 && r.Intn(3) == 0 {
+				a := r.Intn(n)
+				si := r.Intn(len(spares))
+				old := st.applyMove(a, spares[si])
+				spares[si] = old
+			} else {
+				a, b := r.Intn(n), r.Intn(n)
+				if a == b {
+					continue
+				}
+				st.applySwap(a, b)
+			}
+			// From-scratch check.
+			want := newState(p, e, Options{})
+			for i := range p.Constraints {
+				if st.intrs[i] != want.intrs[i] {
+					t.Fatalf("step %d: constraint %d intruders=%d, want %d",
+						step, i, st.intrs[i], want.intrs[i])
+				}
+				if st.agree[i] != want.agree[i] || st.vals[i] != want.vals[i] {
+					t.Fatalf("step %d: constraint %d supercube cache diverged", step, i)
+				}
+			}
+			if st.objective() != want.objective() {
+				t.Fatalf("step %d: objective diverged", step)
+			}
+		}
+	}
+}

@@ -1,0 +1,384 @@
+// Package benchgen generates the synthetic stand-in for the IWLS'93 /
+// MCNC sequential benchmark suite the paper evaluates on. The original
+// KISS2 files are not redistributable here, so for every FSM named in the
+// paper's Tables I and II we generate a deterministic machine with the
+// published dimensions (inputs, outputs, states, product terms) and a
+// structured, locality-biased transition relation:
+//
+//   - each state's input space is split into disjoint cubes by a random
+//     binary recursion (real controllers branch on a few care bits);
+//   - next states are biased toward a small neighborhood plus designated
+//     hub states (reset-like states with high fan-in);
+//   - output vectors correlate with the target state and carry occasional
+//     don't-cares;
+//   - a small fraction of leaves is left unspecified ('*'), matching the
+//     partially-specified nature of the originals.
+//
+// Everything is seeded from the benchmark name, so the suite is identical
+// on every run and platform. See DESIGN.md §4 for why this substitution
+// preserves the paper's relative comparisons.
+package benchgen
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"picola/internal/kiss"
+)
+
+// Spec describes one named benchmark with its published dimensions.
+type Spec struct {
+	Name     string
+	Inputs   int
+	Outputs  int
+	States   int
+	Products int
+	// Table1/Table2 mark which of the paper's tables list the FSM.
+	Table1 bool
+	Table2 bool
+}
+
+// MaxProducts caps the generated transition count per machine. The
+// paper's two largest tables (tbk: 1569 rows, kirkman: 370) exist to
+// stress minimizers; capping keeps the from-scratch espresso tractable
+// while every encoder still faces the identical instance (documented
+// substitution, DESIGN.md §4).
+const MaxProducts = 260
+
+// Suite lists every FSM named in the paper's Tables I and II with its
+// published MCNC dimensions.
+var Suite = []Spec{
+	{"bbara", 4, 2, 10, 60, true, false},
+	{"bbsse", 7, 7, 16, 56, true, false},
+	{"cse", 7, 7, 16, 91, true, false},
+	{"dk14", 3, 5, 7, 56, true, false},
+	{"ex3", 2, 2, 10, 36, true, false},
+	{"ex5", 2, 2, 9, 32, true, false},
+	{"ex7", 2, 2, 10, 36, true, false},
+	{"kirkman", 12, 6, 16, 370, true, false},
+	{"lion9", 2, 1, 9, 25, true, false},
+	{"mark1", 5, 16, 15, 22, true, false},
+	{"opus", 5, 6, 10, 22, true, false},
+	{"train11", 2, 1, 11, 25, true, false},
+	{"s8", 4, 1, 5, 20, true, false},
+	{"s27", 4, 1, 6, 34, true, false},
+	{"dk16", 2, 3, 27, 108, true, true},
+	{"donfile", 2, 1, 24, 96, true, true},
+	{"ex1", 9, 19, 20, 138, true, true},
+	{"ex2", 2, 2, 19, 72, true, true},
+	{"keyb", 7, 2, 19, 170, true, true},
+	{"s386", 7, 7, 13, 64, true, true},
+	{"s1", 8, 6, 20, 107, true, true},
+	{"s1a", 8, 6, 20, 107, true, true},
+	{"sand", 11, 9, 32, 184, true, true},
+	{"tma", 7, 6, 20, 44, true, true},
+	{"pma", 8, 8, 24, 73, true, true},
+	{"styr", 9, 10, 30, 166, true, true},
+	{"tbk", 6, 3, 32, 1569, true, true},
+	{"s420", 19, 2, 18, 137, true, true},
+	{"s510", 19, 7, 47, 77, true, true},
+	{"planet", 7, 19, 48, 115, true, true},
+	{"s832", 18, 19, 25, 245, true, true},
+	{"s820", 18, 19, 25, 232, true, true},
+	{"scf", 27, 56, 121, 166, true, true},
+}
+
+// ByName returns the spec with the given name.
+func ByName(name string) (Spec, bool) {
+	for _, s := range Suite {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// Table1Specs returns the FSMs of Table I, in suite order.
+func Table1Specs() []Spec { return filter(func(s Spec) bool { return s.Table1 }) }
+
+// Table2Specs returns the FSMs of Table II, in suite order.
+func Table2Specs() []Spec { return filter(func(s Spec) bool { return s.Table2 }) }
+
+func filter(keep func(Spec) bool) []Spec {
+	var out []Spec
+	for _, s := range Suite {
+		if keep(s) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// seedOf derives a stable seed from the benchmark name.
+func seedOf(name string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return int64(h.Sum64() & 0x7fffffffffffffff)
+}
+
+// Generate builds the synthetic machine for a spec. The result is always
+// structurally valid KISS2 with deterministic content.
+func Generate(s Spec) *kiss.FSM {
+	r := rand.New(rand.NewSource(seedOf(s.Name)))
+	products := s.Products
+	if products > MaxProducts {
+		products = MaxProducts
+	}
+	if products < s.States {
+		products = s.States
+	}
+	m := &kiss.FSM{
+		Name:       s.Name,
+		NumInputs:  s.Inputs,
+		NumOutputs: s.Outputs,
+	}
+	states := make([]string, s.States)
+	for i := range states {
+		states[i] = fmt.Sprintf("st%d", i)
+	}
+	m.States = states
+	m.Reset = states[0]
+
+	// States come in behavior clusters: members of a cluster share the
+	// same input-cube split and mostly the same behavior per cube, with
+	// per-state deviations keeping states distinguishable. Clustered
+	// behavior is what makes symbolic minimization merge implicants
+	// across states — the source of face constraints and of the encoded
+	// machine's minimization headroom.
+	nClusters := s.States / 4
+	if nClusters < 2 {
+		nClusters = 2
+	}
+	if nClusters > s.States {
+		nClusters = s.States
+	}
+	clusterOf := make([]int, s.States)
+	var clusterMembers [][]int
+	clusterMembers = make([][]int, nClusters)
+	for st := 0; st < s.States; st++ {
+		c := st * nClusters / s.States
+		clusterOf[st] = c
+		clusterMembers[c] = append(clusterMembers[c], st)
+	}
+	// Rows per state, identical within a cluster, capped by input space.
+	// Clusters get +1 bumps round-robin until the total approximates the
+	// published product count.
+	capPerState := 1 << uint(min(s.Inputs, 12))
+	base := products / s.States
+	if base < 1 {
+		base = 1
+	}
+	if base > capPerState {
+		base = capPerState
+	}
+	leafCount := make([]int, nClusters)
+	total := 0
+	for c := range leafCount {
+		leafCount[c] = base
+		total += base * len(clusterMembers[c])
+	}
+	for c := 0; total < products && c < 4*nClusters; c++ {
+		cc := c % nClusters
+		if leafCount[cc] < capPerState {
+			leafCount[cc]++
+			total += len(clusterMembers[cc])
+		}
+	}
+	type leafBehavior struct {
+		targetCluster int
+		outBase       int
+		unspecified   bool
+	}
+	for c := 0; c < nClusters; c++ {
+		leaves := splitInputs(r, s.Inputs, leafCount[c])
+		behaviors := make([]leafBehavior, len(leaves))
+		for li := range leaves {
+			behaviors[li] = leafBehavior{
+				targetCluster: r.Intn(nClusters),
+				outBase:       r.Intn(1 << uint(min(s.Outputs, 16))),
+				unspecified:   r.Intn(14) == 0,
+			}
+		}
+		for mi, st := range clusterMembers[c] {
+			for li, leaf := range leaves {
+				t := kiss.Transition{Input: leaf, From: states[st]}
+				b := behaviors[li]
+				if b.unspecified {
+					t.To = "*"
+					t.Output = strings.Repeat("-", s.Outputs)
+					m.Transitions = append(m.Transitions, t)
+					continue
+				}
+				// Shared leaves send the whole cluster to one concrete
+				// state (the merged implicant covering the cluster is the
+				// face-constraint source). Every state deviates on one
+				// designated leaf — plus occasional random deviations —
+				// which keeps states distinguishable, as in real
+				// controllers with mostly-uniform mode groups. Clusters
+				// with a single leaf per state alternate instead, so
+				// sharing survives in row-starved machines.
+				deviate := r.Intn(4) == 0
+				if len(leaves) > 1 {
+					deviate = deviate || li == mi%len(leaves)
+				} else {
+					deviate = deviate || mi%2 == 1
+				}
+				tc := b.targetCluster
+				if deviate {
+					tc = r.Intn(nClusters)
+				}
+				tm := clusterMembers[tc]
+				to := tm[li%len(tm)]
+				if deviate {
+					to = tm[(li+mi+1)%len(tm)]
+				}
+				t.To = states[to]
+				out := outputVector(s.Outputs, b.outBase, tc, li)
+				if deviate && s.Outputs > 0 {
+					pos := r.Intn(s.Outputs)
+					ob := []byte(out)
+					if ob[pos] == '0' {
+						ob[pos] = '1'
+					} else if ob[pos] == '1' {
+						ob[pos] = '0'
+					}
+					out = string(ob)
+				}
+				t.Output = out
+				m.Transitions = append(m.Transitions, t)
+			}
+		}
+	}
+	// Ensure every state is reachable as a target at least somewhere so no
+	// state is dead weight: retarget surplus hub rows if needed.
+	ensureTargets(r, m, states)
+	if err := m.Validate(); err != nil {
+		panic(fmt.Sprintf("benchgen: generated invalid %s: %v", s.Name, err))
+	}
+	return m
+}
+
+// splitInputs partitions the input space B^ni into k disjoint cubes by
+// random recursive splitting, emitting '-'-rich cubes like real
+// controllers. k is clamped to the space's capacity.
+func splitInputs(r *rand.Rand, ni, k int) []string {
+	if ni == 0 {
+		return []string{""}
+	}
+	maxK := 1 << uint(min(ni, 20))
+	if k > maxK {
+		k = maxK
+	}
+	if k < 1 {
+		k = 1
+	}
+	type node struct {
+		pattern []byte // over '0','1','-'
+		want    int
+	}
+	start := node{pattern: []byte(strings.Repeat("-", ni)), want: k}
+	var out []string
+	stack := []node{start}
+	for len(stack) > 0 {
+		nd := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if nd.want <= 1 {
+			out = append(out, string(nd.pattern))
+			continue
+		}
+		// Pick a random free variable to split on.
+		var free []int
+		for i, c := range nd.pattern {
+			if c == '-' {
+				free = append(free, i)
+			}
+		}
+		if len(free) == 0 {
+			out = append(out, string(nd.pattern))
+			continue
+		}
+		v := free[r.Intn(len(free))]
+		k0 := nd.want / 2
+		if nd.want > 2 && r.Intn(2) == 0 {
+			k0 = 1 + r.Intn(nd.want-1)
+		}
+		cap0 := 1 << uint(min(len(free)-1, 20))
+		if k0 > cap0 {
+			k0 = cap0
+		}
+		if nd.want-k0 > cap0 {
+			k0 = nd.want - cap0
+		}
+		p0 := append([]byte(nil), nd.pattern...)
+		p1 := append([]byte(nil), nd.pattern...)
+		p0[v], p1[v] = '0', '1'
+		stack = append(stack, node{p0, k0}, node{p1, nd.want - k0})
+	}
+	sort.Strings(out)
+	return out
+}
+
+// outputVector builds a structured output cube as a deterministic function
+// of the leaf behavior (base pattern, target cluster, leaf index) so that
+// all states of a cluster emit identical vectors on shared leaves —
+// exactly the redundancy symbolic minimization merges. Sparse
+// don't-cares mimic the partially specified originals.
+func outputVector(no, base, target, leaf int) string {
+	if no == 0 {
+		return ""
+	}
+	b := make([]byte, no)
+	for j := 0; j < no; j++ {
+		bit := (base >> uint(j%16)) & 1
+		if (target+j+leaf)%7 == 0 {
+			bit ^= 1
+		}
+		if (base+3*j+5*leaf)%23 == 0 {
+			b[j] = '-'
+			continue
+		}
+		b[j] = byte('0' + bit)
+	}
+	return string(b)
+}
+
+// ensureTargets retargets a few rows so every state has fan-in ≥ 1
+// (besides possibly the reset state), keeping the machine connected.
+func ensureTargets(r *rand.Rand, m *kiss.FSM, states []string) {
+	fan := m.NextStateFanIn()
+	var missing []string
+	for _, st := range states {
+		if fan[st] == 0 && st != m.Reset {
+			missing = append(missing, st)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	// Candidate rows to retarget: rows whose target has fan-in >= 2.
+	idx := r.Perm(len(m.Transitions))
+	for _, st := range missing {
+		for _, i := range idx {
+			t := &m.Transitions[i]
+			if t.To == "*" || t.From == st {
+				continue
+			}
+			if fan[t.To] >= 2 {
+				fan[t.To]--
+				t.To = st
+				fan[st]++
+				break
+			}
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

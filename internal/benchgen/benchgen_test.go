@@ -1,0 +1,129 @@
+package benchgen
+
+import (
+	"testing"
+
+	"picola/internal/kiss"
+	"picola/internal/symbolic"
+)
+
+func TestSuiteComplete(t *testing.T) {
+	if len(Suite) != 33 {
+		t.Fatalf("suite has %d entries", len(Suite))
+	}
+	if len(Table1Specs()) != 33 {
+		t.Fatalf("Table I lists %d FSMs", len(Table1Specs()))
+	}
+	if len(Table2Specs()) != 19 {
+		t.Fatalf("Table II lists %d FSMs", len(Table2Specs()))
+	}
+	seen := map[string]bool{}
+	for _, s := range Suite {
+		if seen[s.Name] {
+			t.Fatalf("duplicate spec %q", s.Name)
+		}
+		seen[s.Name] = true
+		if s.Inputs < 1 || s.Outputs < 1 || s.States < 2 || s.Products < s.States {
+			t.Fatalf("implausible spec %+v", s)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	s, ok := ByName("planet")
+	if !ok || s.States != 48 {
+		t.Fatalf("ByName planet = %+v %v", s, ok)
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Fatal("unknown name must not resolve")
+	}
+}
+
+func TestGenerateDimensions(t *testing.T) {
+	for _, s := range Suite {
+		m := Generate(s)
+		if m.NumInputs != s.Inputs || m.NumOutputs != s.Outputs {
+			t.Fatalf("%s: io = %d/%d", s.Name, m.NumInputs, m.NumOutputs)
+		}
+		if m.NumStates() != s.States {
+			t.Fatalf("%s: states = %d, want %d", s.Name, m.NumStates(), s.States)
+		}
+		want := s.Products
+		if want > MaxProducts {
+			want = MaxProducts
+		}
+		// Generation can merge a handful of rows; stay within 20%.
+		if len(m.Transitions) < want*4/5 || len(m.Transitions) > want+s.States {
+			t.Fatalf("%s: %d transitions, want ≈%d", s.Name, len(m.Transitions), want)
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Suite[0])
+	b := Generate(Suite[0])
+	if a.String() != b.String() {
+		t.Fatal("generation is not deterministic")
+	}
+}
+
+func TestGeneratedRowsDisjointPerState(t *testing.T) {
+	for _, name := range []string{"bbara", "keyb", "planet"} {
+		s, _ := ByName(name)
+		m := Generate(s)
+		byState := map[string][]string{}
+		for _, tr := range m.Transitions {
+			byState[tr.From] = append(byState[tr.From], tr.Input)
+		}
+		for st, cubes := range byState {
+			for i := 0; i < len(cubes); i++ {
+				for j := i + 1; j < len(cubes); j++ {
+					if cubesIntersect(cubes[i], cubes[j]) {
+						t.Fatalf("%s state %s: overlapping inputs %s and %s",
+							name, st, cubes[i], cubes[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+func cubesIntersect(a, b string) bool {
+	for i := range a {
+		if a[i] != '-' && b[i] != '-' && a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestGeneratedRoundTripsThroughKISS(t *testing.T) {
+	s, _ := ByName("opus")
+	m := Generate(s)
+	m2, err := kiss.ParseString(m.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.NumStates() != m.NumStates() || len(m2.Transitions) != len(m.Transitions) {
+		t.Fatal("round trip changed the machine")
+	}
+}
+
+func TestGeneratedMachinesYieldConstraints(t *testing.T) {
+	// The whole pipeline depends on the generator producing machines whose
+	// symbolic minimization emits group constraints.
+	for _, name := range []string{"bbara", "opus", "dk14"} {
+		s, _ := ByName(name)
+		m := Generate(s)
+		p, _, err := symbolic.ExtractConstraints(m)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(p.Constraints) == 0 {
+			t.Fatalf("%s: no group constraints extracted", name)
+		}
+	}
+}

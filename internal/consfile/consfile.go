@@ -1,0 +1,127 @@
+// Package consfile reads and writes the constraint-matrix file format the
+// picola command consumes: one 0/1 row per group constraint over the
+// symbol universe, an optional .symbols header naming the symbols, and an
+// optional trailing integer weight per row.
+//
+//	# comment
+//	.symbols s1 s2 s3 s4 s5
+//	11000
+//	00110 2
+package consfile
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"picola/internal/face"
+)
+
+// Parse reads a problem from r.
+func Parse(r io.Reader) (*face.Problem, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	p := &face.Problem{}
+	var rows []string
+	var weights []int
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if i := strings.IndexByte(text, '#'); i >= 0 {
+			text = strings.TrimSpace(text[:i])
+		}
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, ".symbols") {
+			p.Names = strings.Fields(text)[1:]
+			continue
+		}
+		if strings.HasPrefix(text, ".name") {
+			f := strings.Fields(text)
+			if len(f) > 1 {
+				p.Name = f[1]
+			}
+			continue
+		}
+		fields := strings.Fields(text)
+		w := 1
+		switch len(fields) {
+		case 1:
+		case 2:
+			v, err := strconv.Atoi(fields[1])
+			if err != nil || v < 1 {
+				return nil, fmt.Errorf("consfile:%d: bad weight %q", line, fields[1])
+			}
+			w = v
+		default:
+			return nil, fmt.Errorf("consfile:%d: bad row %q", line, text)
+		}
+		rows = append(rows, fields[0])
+		weights = append(weights, w)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("consfile: no constraints in input")
+	}
+	n := len(rows[0])
+	if p.Names == nil {
+		for i := 0; i < n; i++ {
+			p.Names = append(p.Names, fmt.Sprintf("S%d", i))
+		}
+	}
+	if len(p.Names) != n {
+		return nil, fmt.Errorf("consfile: %d symbols named but rows have width %d", len(p.Names), n)
+	}
+	for ri, row := range rows {
+		if len(row) != n {
+			return nil, fmt.Errorf("consfile: row %d has width %d, want %d", ri, len(row), n)
+		}
+		c := face.NewConstraint(n)
+		for i := 0; i < n; i++ {
+			switch row[i] {
+			case '1':
+				c.Add(i)
+			case '0':
+			default:
+				return nil, fmt.Errorf("consfile: bad character %q in row %d", row[i], ri)
+			}
+		}
+		for w := 0; w < weights[ri]; w++ {
+			p.AddConstraint(c)
+		}
+	}
+	return p, nil
+}
+
+// ParseString parses a problem from a string.
+func ParseString(s string) (*face.Problem, error) { return Parse(strings.NewReader(s)) }
+
+// Write emits the problem in the same format.
+func Write(w io.Writer, p *face.Problem) error {
+	bw := bufio.NewWriter(w)
+	if p.Name != "" {
+		fmt.Fprintf(bw, ".name %s\n", p.Name)
+	}
+	fmt.Fprintf(bw, ".symbols %s\n", strings.Join(p.Names, " "))
+	for i, c := range p.Constraints {
+		if wgt := p.Weight(i); wgt > 1 {
+			fmt.Fprintf(bw, "%s %d\n", c, wgt)
+		} else {
+			fmt.Fprintln(bw, c)
+		}
+	}
+	return bw.Flush()
+}
+
+// String renders the problem in the file format.
+func String(p *face.Problem) string {
+	var sb strings.Builder
+	_ = Write(&sb, p)
+	return sb.String()
+}

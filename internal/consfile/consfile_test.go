@@ -1,0 +1,116 @@
+package consfile
+
+import (
+	"strings"
+	"testing"
+
+	"picola/internal/face"
+)
+
+const sample = `
+# the paper's example
+.name figure1
+.symbols a b c d e
+11000
+00110 3
+01111
+`
+
+func TestParse(t *testing.T) {
+	p, err := ParseString(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "figure1" || p.N() != 5 {
+		t.Fatalf("header: %q %d", p.Name, p.N())
+	}
+	if len(p.Constraints) != 3 {
+		t.Fatalf("constraints = %d", len(p.Constraints))
+	}
+	if p.Weight(1) != 3 {
+		t.Fatalf("weight = %d", p.Weight(1))
+	}
+	if !p.Constraints[0].Has(0) || !p.Constraints[0].Has(1) || p.Constraints[0].Has(2) {
+		t.Fatal("row 0 wrong")
+	}
+}
+
+func TestParseDefaultsNames(t *testing.T) {
+	p, err := ParseString("1100\n0011\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Names[0] != "S0" || p.Names[3] != "S3" {
+		t.Fatalf("names = %v", p.Names)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		".symbols a b\n111\n",
+		"110\n11\n",
+		"1x0\n",
+		"110 0\n",
+		"110 x\n",
+		"110 1 2\n",
+	}
+	for _, s := range cases {
+		if _, err := ParseString(s); err == nil {
+			t.Errorf("expected error for %q", s)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	p, err := ParseString(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := ParseString(String(p))
+	if err != nil {
+		t.Fatalf("%v in:\n%s", err, String(p))
+	}
+	if q.Name != p.Name || q.N() != p.N() || len(q.Constraints) != len(p.Constraints) {
+		t.Fatal("round trip changed the problem")
+	}
+	for i := range p.Constraints {
+		if !p.Constraints[i].Equal(q.Constraints[i]) || p.Weight(i) != q.Weight(i) {
+			t.Fatalf("constraint %d changed", i)
+		}
+	}
+}
+
+func TestWriteCompact(t *testing.T) {
+	p := &face.Problem{Names: []string{"x", "y", "z"}}
+	p.AddConstraint(face.FromMembers(3, 0, 1))
+	s := String(p)
+	if !strings.Contains(s, ".symbols x y z") || !strings.Contains(s, "110") {
+		t.Fatalf("render:\n%s", s)
+	}
+}
+
+func FuzzParse(f *testing.F) {
+	f.Add(sample)
+	f.Add("110\n")
+	f.Add(".symbols a b\n11 2\n")
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParseString(s)
+		if err != nil {
+			return
+		}
+		if len(p.Constraints) == 0 {
+			// Trivial/full rows are filtered by AddConstraint; an empty
+			// problem has no canonical file form.
+			return
+		}
+		// Anything accepted must survive a write/parse round trip.
+		q, err := ParseString(String(p))
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if q.N() != p.N() || len(q.Constraints) != len(p.Constraints) {
+			t.Fatal("round trip changed the problem")
+		}
+	})
+}

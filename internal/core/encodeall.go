@@ -1,0 +1,70 @@
+package core
+
+import (
+	"fmt"
+
+	"picola/internal/face"
+)
+
+// EncodeAll solves the *complete* face-embedding problem: it searches for
+// the shortest code length at which the column algorithm satisfies every
+// constraint, growing the length from the problem's minimum. One-hot
+// codes satisfy any constraint set, so the search is bounded by the
+// symbol count and falls back to one-hot at that width.
+//
+// The paper's introduction motivates the partial problem with exactly
+// this trade-off: full satisfaction usually needs so many more code bits
+// that the area gain evaporates. The Table 3 harness (cmd/tables
+// -table 3) quantifies it on the benchmark suite.
+func EncodeAll(p *face.Problem, opts ...Options) (*Result, error) {
+	var o Options
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	n := p.N()
+	if n == 0 {
+		return nil, fmt.Errorf("core: empty problem")
+	}
+	maxNV := n
+	if maxNV > 64 {
+		maxNV = 64
+	}
+	for nv := p.MinLength(); nv <= maxNV; nv++ {
+		vo := o
+		vo.NV = nv
+		r, err := Encode(p, vo)
+		if err != nil {
+			return nil, err
+		}
+		all := true
+		for _, s := range r.Satisfied {
+			if !s {
+				all = false
+				break
+			}
+		}
+		if all {
+			return r, nil
+		}
+	}
+	if n > 64 {
+		return nil, fmt.Errorf("core: one-hot fallback needs %d bits, exceeding 64", n)
+	}
+	// One-hot fallback: the supercube of any symbol subset fixes a zero in
+	// every non-member's position, so every constraint is satisfied.
+	e := face.NewEncoding(n, n)
+	for s := 0; s < n; s++ {
+		e.Codes[s] = 1 << uint(s)
+	}
+	r := &Result{
+		Encoding:      e,
+		Satisfied:     make([]bool, len(p.Constraints)),
+		Infeasible:    make([]bool, len(p.Constraints)),
+		TheoremICubes: make([]int, len(p.Constraints)),
+	}
+	for i := range p.Constraints {
+		r.Satisfied[i] = true
+		r.TheoremICubes[i] = 1
+	}
+	return r, nil
+}

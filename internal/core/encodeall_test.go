@@ -1,0 +1,97 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"picola/internal/face"
+)
+
+func TestEncodeAllSatisfiesEverything(t *testing.T) {
+	r := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 25; trial++ {
+		n := 4 + r.Intn(10)
+		p := &face.Problem{Names: make([]string, n)}
+		for k := 0; k < 1+r.Intn(5); k++ {
+			c := face.NewConstraint(n)
+			for s := 0; s < n; s++ {
+				if r.Intn(3) == 0 {
+					c.Add(s)
+				}
+			}
+			p.AddConstraint(c)
+		}
+		res, err := EncodeAll(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Encoding.Injective() {
+			t.Fatal("codes must be distinct")
+		}
+		for i, c := range p.Constraints {
+			if !res.Encoding.Satisfied(c) {
+				t.Fatalf("constraint %d unsatisfied at nv=%d", i, res.Encoding.NV)
+			}
+			if !res.Satisfied[i] {
+				t.Fatalf("result flags constraint %d unsatisfied", i)
+			}
+		}
+		if res.Encoding.NV < p.MinLength() || res.Encoding.NV > n {
+			t.Fatalf("nv=%d outside [min=%d, n=%d]", res.Encoding.NV, p.MinLength(), n)
+		}
+	}
+}
+
+func TestEncodeAllPaperProblem(t *testing.T) {
+	p := paperProblem()
+	res, err := EncodeAll(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The full set is infeasible in B^4 (that is the paper's point), so
+	// full satisfaction must cost at least one extra bit.
+	if res.Encoding.NV <= 4 {
+		t.Fatalf("figure-1 constraints are unsatisfiable at nv=4, got nv=%d", res.Encoding.NV)
+	}
+	for i := range p.Constraints {
+		if !res.Satisfied[i] {
+			t.Fatalf("constraint %d unsatisfied", i)
+		}
+	}
+}
+
+func TestEncodeAllNoConstraints(t *testing.T) {
+	p := &face.Problem{Names: make([]string, 5)}
+	res, err := EncodeAll(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Encoding.NV != p.MinLength() {
+		t.Fatalf("no constraints must stop at the minimum length, got %d", res.Encoding.NV)
+	}
+}
+
+func TestOneHotSatisfiesAll(t *testing.T) {
+	// The fallback's premise, checked directly: one-hot codes satisfy any
+	// constraint set.
+	r := rand.New(rand.NewSource(59))
+	n := 10
+	e := face.NewEncoding(n, n)
+	for s := 0; s < n; s++ {
+		e.Codes[s] = 1 << uint(s)
+	}
+	for trial := 0; trial < 100; trial++ {
+		c := face.NewConstraint(n)
+		for s := 0; s < n; s++ {
+			if r.Intn(2) == 0 {
+				c.Add(s)
+			}
+		}
+		if c.Count() == 0 || c.Count() == n {
+			continue
+		}
+		if !e.Satisfied(c) {
+			t.Fatalf("one-hot violates %s", c)
+		}
+	}
+}

@@ -1,0 +1,1351 @@
+// Package core implements PICOLA (Partial Input COLumn based Algorithm),
+// the paper's primary contribution: a column-based algorithm for the
+// partial face-constrained encoding problem using minimum code length.
+//
+// The encoder generates the code matrix one column at a time. A constraint
+// matrix in the paper's notation remembers, for every seed dichotomy, the
+// column that satisfied it; from it the algorithm reads off the dimension
+// of each constraint's supercube and its intruder set at no extra cost.
+// Before each column, Classify detects constraints that can no longer be
+// satisfied in B^nv (via nv-compatibility against already-satisfied
+// constraints and capacity checks) and substitutes them by their
+// guide-constraints: the group constraint on their intruder set. By
+// Theorem I, making the intruders span a small cube disjoint from the
+// members lets the violated constraint be implemented with
+// dim(super(L)) − dim(super(I)) product terms instead of up to one per
+// member.
+package core
+
+import (
+	"fmt"
+	"math/bits"
+
+	"picola/internal/cover"
+	"picola/internal/cube"
+	"picola/internal/eval"
+	"picola/internal/face"
+)
+
+// Kind distinguishes original face constraints from guide-constraints.
+type Kind int
+
+// Constraint kinds.
+const (
+	Original Kind = iota
+	GuideKind
+)
+
+// Options tune the encoder.
+type Options struct {
+	// NV overrides the code length; 0 means the problem's minimum length.
+	NV int
+	// GuideWeight scales the dichotomy weights of guide-constraints
+	// relative to originals. 0 means the default 0.4.
+	GuideWeight float64
+	// MaxGuideDepth bounds recursive guide-of-guide substitution.
+	// 0 means the default 2.
+	MaxGuideDepth int
+	// DisableGuides turns guide-constraint generation off (for ablation
+	// benchmarks: the algorithm degenerates to plain weighted dichotomy
+	// satisfaction).
+	DisableGuides bool
+	// DisableClassify turns dynamic infeasibility detection off (for
+	// ablation; implies no guides are ever generated mid-run).
+	DisableClassify bool
+	// DisablePolish turns off the cube-aware refinement pass that follows
+	// column generation (for ablation).
+	DisablePolish bool
+	// PolishMaxSymbols bounds the problem size the polish pass runs on
+	// (its cost grows with n³); 0 means the default 64.
+	PolishMaxSymbols int
+	// ExactPolishBudget bounds the espresso evaluations of the final
+	// exact-cost swap pass on small problems (n ≤ 32); 0 means the
+	// default 4000, negative disables the pass.
+	ExactPolishBudget int
+	// Restarts is the number of column-generation variants tried (guide
+	// weight and start-column perturbations); the best by cube estimate is
+	// kept. 0 means the default 4, 1 disables the portfolio.
+	Restarts int
+}
+
+func (o Options) withDefaults() Options {
+	if o.GuideWeight == 0 {
+		o.GuideWeight = 0.4
+	}
+	if o.MaxGuideDepth == 0 {
+		o.MaxGuideDepth = 2
+	}
+	if o.PolishMaxSymbols == 0 {
+		o.PolishMaxSymbols = 64
+	}
+	if o.ExactPolishBudget == 0 {
+		o.ExactPolishBudget = 8000
+	}
+	if o.Restarts == 0 {
+		o.Restarts = 4
+	}
+	return o
+}
+
+// tracked is one row of the working constraint matrix.
+type tracked struct {
+	kind      Kind
+	depth     int // guide nesting depth (0 for originals)
+	parent    int // index of the constraint this guides, or -1
+	weight    float64
+	members   face.Constraint
+	outsiders face.Constraint // symbols whose seed dichotomies are tracked
+	// mark[s] for outsiders: 0 = dichotomy unsatisfied, c+1 = satisfied by
+	// column c. Non-outsiders hold -1.
+	mark []int
+	// agreeCols/agreeVals: generated columns where all members received
+	// the same bit, and that bit. dim(super) = nv − len(agreeCols).
+	agreeCols []int
+	agreeVals []int
+
+	satisfied  bool
+	infeasible bool
+}
+
+func (t *tracked) unsatisfiedCount() int {
+	n := 0
+	for s := 0; s < t.outsiders.N(); s++ {
+		if t.outsiders.Has(s) && t.mark[s] == 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// intruders returns the outsiders whose dichotomies are still unsatisfied
+// — the constraint's current intruder set I_k.
+func (t *tracked) intruders() face.Constraint {
+	out := face.NewConstraint(t.outsiders.N())
+	for s := 0; s < t.outsiders.N(); s++ {
+		if t.outsiders.Has(s) && t.mark[s] == 0 {
+			out.Add(s)
+		}
+	}
+	return out
+}
+
+// Result reports the outcome of an encoding run.
+type Result struct {
+	Encoding *face.Encoding
+	// Satisfied[i] for each original constraint of the problem.
+	Satisfied []bool
+	// Infeasible[i]: constraint i was detected infeasible during the run
+	// (its guide-constraint, if any, steered the remaining columns).
+	Infeasible []bool
+	// Guides lists the guide-constraints generated, in creation order.
+	Guides []face.Constraint
+	// TheoremICubes[i]: for violated constraint i, the product-term count
+	// guaranteed by Theorem I when its intruders span a disjoint cube, or
+	// 0 when the theorem does not apply (evaluate exactly instead).
+	TheoremICubes []int
+}
+
+// encoder carries the run state.
+type encoder struct {
+	p         *face.Problem
+	opts      Options
+	n         int
+	nv        int
+	enc       *face.Encoding
+	rows      []*tracked // originals first, then guides as they appear
+	nOri      int
+	startZero bool // solve variant: start columns at all zeros
+	// Per-solve caches: the marks only change in apply, so each row's
+	// unsatisfied-outsider list is invariant while one column is built.
+	unsat [][]int
+}
+
+// Encode runs PICOLA on the problem and returns the minimum-length
+// encoding together with per-constraint diagnostics. A small deterministic
+// portfolio of column-generation variants is tried and the best result by
+// the cube estimate kept (Options.Restarts).
+func Encode(p *face.Problem, opts ...Options) (*Result, error) {
+	var o Options
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	o = o.withDefaults()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := p.N()
+	if n == 0 {
+		return nil, fmt.Errorf("core: empty problem")
+	}
+	nv := o.NV
+	if nv == 0 {
+		nv = p.MinLength()
+	}
+	if minNeeded := p.MinLength(); nv < minNeeded {
+		return nil, fmt.Errorf("core: %d columns cannot distinguish %d symbols", nv, n)
+	}
+	if nv > 64 {
+		return nil, fmt.Errorf("core: code length %d exceeds 64", nv)
+	}
+	// Small problems afford exact scoring of the portfolio variants (the
+	// evaluator is a fast Quine–McCluskey at minimum lengths); larger ones
+	// use the espresso-free estimate.
+	exactSelect := n <= 40 && nv <= 7 && o.ExactPolishBudget > 0
+	var best *encoder
+	bestScore := 0
+	for v := 0; v < o.Restarts; v++ {
+		vo := o
+		switch v {
+		case 1:
+			vo.GuideWeight = o.GuideWeight * 2
+		case 2:
+			vo.GuideWeight = o.GuideWeight / 2
+		}
+		e := encodeOnce(p, vo, nv, v == 3)
+		score := 0
+		if exactSelect {
+			for i, c := range p.Constraints {
+				k, err := eval.ConstraintCubes(e.enc, c)
+				if err != nil {
+					return nil, err
+				}
+				score += p.Weight(i) * k
+			}
+		} else {
+			cm := newCostModel(e.enc, p.Constraints)
+			for i := range p.Constraints {
+				score += p.Weight(i) * cm.estimate(i)
+			}
+		}
+		if best == nil || score < bestScore {
+			best, bestScore = e, score
+		}
+	}
+	// Only the winning variant gets the full refinement.
+	if !o.DisablePolish && n <= o.PolishMaxSymbols {
+		best.polish(20)
+	}
+	if !o.DisablePolish && n <= 40 && nv <= 7 && o.ExactPolishBudget > 0 {
+		if err := best.exactPolish(o.ExactPolishBudget); err != nil {
+			return nil, err
+		}
+	}
+	best.reclassifyFromScratch()
+	best.finalClassify()
+	return best.result(), nil
+}
+
+// encodeOnce runs one column-generation pass (plus a light estimate-based
+// polish) under the given variant options.
+func encodeOnce(p *face.Problem, o Options, nv int, startZero bool) *encoder {
+	n := p.N()
+	e := &encoder{p: p, opts: o, n: n, nv: nv,
+		enc: face.NewEncoding(n, nv), startZero: startZero}
+	for i, c := range p.Constraints {
+		e.rows = append(e.rows, newTracked(c, Original, 0, -1, float64(p.Weight(i))))
+	}
+	e.nOri = len(e.rows)
+	for j := 0; j < e.nv; j++ {
+		if !o.DisableClassify {
+			e.updateConstraints(j)
+		}
+		col := e.solve(j)
+		e.apply(col, j)
+	}
+	if !o.DisablePolish && n <= o.PolishMaxSymbols {
+		e.polish(4)
+	}
+	return e
+}
+
+// exactPolish refines the encoding under the exact minimized cube count:
+// first-improvement descent over code swaps and spare-code moves, followed
+// by deterministic basin hopping — at a local optimum, apply the
+// least-damaging swap and descend again, keeping the best encoding seen.
+// A swap exchanges codes between two symbols, so the function of any
+// constraint containing neither symbol is literally unchanged (same
+// member codes, same non-member code multiset) — only the touched
+// memberships are re-minimized. The evaluation budget bounds the pass.
+func (e *encoder) exactPolish(budget int) error {
+	n := e.n
+	r := len(e.p.Constraints)
+	if r == 0 {
+		return nil
+	}
+	ps := &polishState{e: e, budget: budget}
+	ps.cost = make([]int, r)
+	for i, c := range e.p.Constraints {
+		k, err := eval.ConstraintCubes(e.enc, c)
+		if err != nil {
+			return err
+		}
+		ps.evals++
+		ps.cost[i] = k
+	}
+	ps.memberOf = make([][]int, n)
+	for i, c := range e.p.Constraints {
+		for _, m := range c.Members() {
+			ps.memberOf[m] = append(ps.memberOf[m], i)
+		}
+	}
+	mask := uint64(1)<<uint(e.nv) - 1
+	used := make(map[uint64]bool, n)
+	for _, c := range e.enc.Codes {
+		used[c&mask] = true
+	}
+	for code := 0; code < 1<<uint(e.nv); code++ {
+		if !used[uint64(code)] {
+			ps.spares = append(ps.spares, uint64(code))
+		}
+	}
+	if err := ps.descend(); err != nil {
+		return err
+	}
+	// Basin hopping: remember the best encoding; kick with the cheapest
+	// non-improving swap and descend again.
+	bestCodes := append([]uint64(nil), e.enc.Codes...)
+	bestTotal := ps.total()
+	for hop := 0; hop < 3 && ps.evals < ps.budget; hop++ {
+		if err := ps.kick(); err != nil {
+			return err
+		}
+		if err := ps.descend(); err != nil {
+			return err
+		}
+		if t := ps.total(); t < bestTotal {
+			bestTotal = t
+			copy(bestCodes, e.enc.Codes)
+		}
+	}
+	copy(e.enc.Codes, bestCodes)
+	return nil
+}
+
+// polishState carries the exact-polish bookkeeping.
+type polishState struct {
+	e        *encoder
+	cost     []int
+	memberOf [][]int
+	spares   []uint64
+	evals    int
+	budget   int
+}
+
+func (ps *polishState) total() int {
+	t := 0
+	for i, k := range ps.cost {
+		t += ps.e.p.Weight(i) * k
+	}
+	return t
+}
+
+// affected lists the constraints a swap of symbols a and b can change.
+func (ps *polishState) affected(a, b int) []int {
+	seen := map[int]bool{}
+	var idx []int
+	for _, i := range ps.memberOf[a] {
+		seen[i] = true
+		idx = append(idx, i)
+	}
+	for _, i := range ps.memberOf[b] {
+		if !seen[i] {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// swapDelta applies the swap and returns the exact cost change and the
+// touched constraints' new costs (without committing ps.cost).
+func (ps *polishState) swapDelta(a, b int, idx []int) (int, []int, error) {
+	ps.e.enc.Codes[a], ps.e.enc.Codes[b] = ps.e.enc.Codes[b], ps.e.enc.Codes[a]
+	d := 0
+	newCost := make([]int, len(idx))
+	for j, i := range idx {
+		k, err := eval.ConstraintCubes(ps.e.enc, ps.e.p.Constraints[i])
+		if err != nil {
+			return 0, nil, err
+		}
+		ps.evals++
+		newCost[j] = k
+		d += ps.e.p.Weight(i) * (k - ps.cost[i])
+	}
+	return d, newCost, nil
+}
+
+// descend runs first-improvement passes over swaps and spare moves until
+// a local optimum or the budget.
+func (ps *polishState) descend() error {
+	e := ps.e
+	n := e.n
+	r := len(e.p.Constraints)
+	for pass := 0; pass < 8 && ps.evals < ps.budget; pass++ {
+		improved := false
+		for a := 0; a < n && ps.evals < ps.budget; a++ {
+			for si := range ps.spares {
+				if ps.evals+r > ps.budget {
+					break
+				}
+				old := e.enc.Codes[a]
+				e.enc.Codes[a] = ps.spares[si]
+				d := 0
+				newCost := make([]int, r)
+				var err error
+				for i := range e.p.Constraints {
+					newCost[i], err = eval.ConstraintCubes(e.enc, e.p.Constraints[i])
+					if err != nil {
+						return err
+					}
+					ps.evals++
+					d += e.p.Weight(i) * (newCost[i] - ps.cost[i])
+				}
+				if d < 0 {
+					copy(ps.cost, newCost)
+					ps.spares[si] = old
+					improved = true
+				} else {
+					e.enc.Codes[a] = old
+				}
+			}
+			for b := a + 1; b < n && ps.evals < ps.budget; b++ {
+				idx := ps.affected(a, b)
+				if len(idx) == 0 {
+					continue
+				}
+				d, newCost, err := ps.swapDelta(a, b, idx)
+				if err != nil {
+					return err
+				}
+				if d < 0 {
+					for j, i := range idx {
+						ps.cost[i] = newCost[j]
+					}
+					improved = true
+				} else {
+					e.enc.Codes[a], e.enc.Codes[b] = e.enc.Codes[b], e.enc.Codes[a]
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return nil
+}
+
+// kick commits the least-damaging swap among a deterministic sample so the
+// next descent explores a different basin.
+func (ps *polishState) kick() error {
+	e := ps.e
+	n := e.n
+	bestA, bestB, bestD := -1, -1, 1<<30
+	var bestCost []int
+	for a := 0; a < n && ps.evals < ps.budget; a++ {
+		b := (a + 1 + n/2) % n
+		if a == b {
+			continue
+		}
+		idx := ps.affected(a, b)
+		if len(idx) == 0 {
+			continue
+		}
+		d, newCost, err := ps.swapDelta(a, b, idx)
+		if err != nil {
+			return err
+		}
+		// Undo; the chosen kick is re-applied below.
+		e.enc.Codes[a], e.enc.Codes[b] = e.enc.Codes[b], e.enc.Codes[a]
+		if d != 0 && d < bestD {
+			bestA, bestB, bestD, bestCost = a, b, d, newCost
+		}
+	}
+	if bestA < 0 {
+		return nil
+	}
+	idx := ps.affected(bestA, bestB)
+	e.enc.Codes[bestA], e.enc.Codes[bestB] = e.enc.Codes[bestB], e.enc.Codes[bestA]
+	for j, i := range idx {
+		ps.cost[i] = bestCost[j]
+	}
+	return nil
+}
+
+// estimateCubes is the espresso-free cost surrogate the polish pass
+// minimizes: 1 for a satisfied constraint, and otherwise the better of the
+// Theorem I count (when the intruders span a cube disjoint from the
+// members) and a recursive-split upper bound: split the members on a
+// disagreeing code column chosen to isolate intruders, and sum the halves.
+func estimateCubes(enc *face.Encoding, c face.Constraint) int {
+	cm := newCostModel(enc, []face.Constraint{c})
+	return cm.estimate(0)
+}
+
+// costModel evaluates the cube estimate without allocation: per-constraint
+// member/non-member index lists are cached, and the split recursion
+// partitions shared scratch arrays in place.
+type costModel struct {
+	enc     *face.Encoding
+	nv      int
+	mask    uint64
+	members [][]int
+	nonmem  [][]int
+	mbuf    []uint64 // member codes scratch
+	ibuf    []uint64 // intruder-candidate codes scratch
+}
+
+func newCostModel(enc *face.Encoding, cons []face.Constraint) *costModel {
+	cm := &costModel{enc: enc, nv: enc.NV}
+	cm.mask = uint64(1)<<uint(cm.nv) - 1
+	if cm.nv == 64 {
+		cm.mask = ^uint64(0)
+	}
+	cm.members = make([][]int, len(cons))
+	cm.nonmem = make([][]int, len(cons))
+	for i, c := range cons {
+		cm.members[i] = c.Members()
+		for s := 0; s < c.N(); s++ {
+			if !c.Has(s) {
+				cm.nonmem[i] = append(cm.nonmem[i], s)
+			}
+		}
+	}
+	cm.mbuf = make([]uint64, enc.N())
+	cm.ibuf = make([]uint64, enc.N())
+	return cm
+}
+
+// estimate returns the cube estimate of constraint i under the current
+// codes.
+func (cm *costModel) estimate(i int) int {
+	members := cm.members[i]
+	if len(members) == 0 {
+		return 0
+	}
+	m := cm.mbuf[:len(members)]
+	agree := cm.mask
+	vals := cm.enc.Codes[members[0]] & cm.mask
+	for j, s := range members {
+		code := cm.enc.Codes[s] & cm.mask
+		m[j] = code
+		agree &^= (vals ^ code) & cm.mask
+	}
+	vals &= agree
+	// Intruder candidates: non-member codes inside the supercube.
+	nIntr := 0
+	for _, s := range cm.nonmem[i] {
+		code := cm.enc.Codes[s] & cm.mask
+		if (code^vals)&agree == 0 {
+			cm.ibuf[nIntr] = code
+			nIntr++
+		}
+	}
+	if nIntr == 0 {
+		return 1
+	}
+	est := cm.split(m, cm.ibuf[:nIntr])
+	// Theorem I: when the intruders span a cube containing no member
+	// code, dim(super(L)) − dim(super(I)) cubes suffice.
+	iAgree := cm.mask
+	iVals := cm.ibuf[0]
+	for _, code := range cm.ibuf[:nIntr] {
+		iAgree &^= (iVals ^ code) & cm.mask
+	}
+	iVals &= iAgree
+	ok := true
+	for _, code := range m {
+		if (code^iVals)&iAgree == 0 {
+			ok = false
+			break
+		}
+	}
+	if ok {
+		// supDim − iDim = (nv − |agree|) − (nv − |iAgree|).
+		k := popcount(iAgree&cm.mask) - popcount(agree&cm.mask)
+		if k >= 1 && k < est {
+			est = k
+		}
+	}
+	return est
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// split bounds the cubes needed to cover the member codes m while
+// excluding the intruder codes intr (all inside m's parent supercube),
+// partitioning both slices in place.
+func (cm *costModel) split(m, intr []uint64) int {
+	agree := cm.mask
+	vals := m[0]
+	for _, code := range m[1:] {
+		agree &^= vals ^ code
+	}
+	vals &= agree
+	// Compact the intruders still inside this node's supercube.
+	k := 0
+	for _, code := range intr {
+		if (code^vals)&agree == 0 {
+			intr[k] = code
+			k++
+		}
+	}
+	intr = intr[:k]
+	if k == 0 || len(m) == 1 {
+		return 1
+	}
+	bestCol, bestScore := -1, 1<<30
+	for col := 0; col < cm.nv; col++ {
+		bit := uint64(1) << uint(col)
+		if agree&bit != 0 {
+			continue
+		}
+		m0 := 0
+		for _, code := range m {
+			if code&bit == 0 {
+				m0++
+			}
+		}
+		balance := 2*m0 - len(m)
+		if balance < 0 {
+			balance = -balance
+		}
+		// All current intruders stay candidates on one side or the other;
+		// prefer balanced splits, then low columns for determinism.
+		if balance < bestScore {
+			bestScore, bestCol = balance, col
+		}
+	}
+	if bestCol < 0 {
+		return len(m)
+	}
+	bit := uint64(1) << uint(bestCol)
+	mi := partition(m, bit)
+	ii := partition(intr, bit)
+	total := 0
+	if mi > 0 {
+		total += cm.split(m[:mi], intr[:ii])
+	}
+	if mi < len(m) {
+		total += cm.split(m[mi:], intr[ii:])
+	}
+	return total
+}
+
+// partition reorders xs so codes with the bit clear come first, returning
+// the boundary index.
+func partition(xs []uint64, bit uint64) int {
+	i := 0
+	for j, x := range xs {
+		if x&bit == 0 {
+			xs[i], xs[j] = xs[j], xs[i]
+			i++
+		}
+	}
+	return i
+}
+
+// polish is a deterministic first-improvement hill climb over code swaps
+// and moves to spare codes, minimizing the weighted cube estimate. The
+// estimate of a constraint depends only on its member codes and the
+// multiset of non-member codes, so a swap of two symbols can only change
+// constraints having one of them as a member — the evaluation is
+// incremental and never calls espresso.
+func (e *encoder) polish(maxPasses int) {
+	n := e.n
+	r := len(e.p.Constraints)
+	cm := newCostModel(e.enc, e.p.Constraints)
+	est := make([]int, r)
+	for i := range e.p.Constraints {
+		est[i] = cm.estimate(i)
+	}
+	// memberOf[s] lists the constraints having s as a member.
+	memberOf := make([][]int, n)
+	for i, c := range e.p.Constraints {
+		for _, m := range c.Members() {
+			memberOf[m] = append(memberOf[m], i)
+		}
+	}
+	mask := uint64(1)<<uint(e.nv) - 1
+	var spares []uint64
+	used := make(map[uint64]bool, n)
+	for _, c := range e.enc.Codes {
+		used[c&mask] = true
+	}
+	for code := 0; code < 1<<uint(e.nv); code++ {
+		if !used[uint64(code)] {
+			spares = append(spares, uint64(code))
+		}
+	}
+	// delta recomputes the listed constraints and returns the estimate
+	// change, mutating est.
+	delta := func(idx []int) int {
+		d := 0
+		for _, i := range idx {
+			k := cm.estimate(i)
+			d += e.p.Weight(i) * (k - est[i])
+			est[i] = k
+		}
+		return d
+	}
+	restore := func(idx []int, saved []int) {
+		for j, i := range idx {
+			est[i] = saved[j]
+		}
+	}
+	affectedSwap := func(a, b int) []int {
+		seen := map[int]bool{}
+		var out []int
+		for _, i := range memberOf[a] {
+			if !seen[i] {
+				seen[i] = true
+				out = append(out, i)
+			}
+		}
+		for _, i := range memberOf[b] {
+			if !seen[i] {
+				seen[i] = true
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	for pass := 0; pass < maxPasses; pass++ {
+		improved := false
+		for a := 0; a < n; a++ {
+			for b := a + 1; b < n; b++ {
+				idx := affectedSwap(a, b)
+				if len(idx) == 0 {
+					continue
+				}
+				saved := make([]int, len(idx))
+				for j, i := range idx {
+					saved[j] = est[i]
+				}
+				e.enc.Codes[a], e.enc.Codes[b] = e.enc.Codes[b], e.enc.Codes[a]
+				if delta(idx) < 0 {
+					improved = true
+				} else {
+					e.enc.Codes[a], e.enc.Codes[b] = e.enc.Codes[b], e.enc.Codes[a]
+					restore(idx, saved)
+				}
+			}
+			// Moves to spare codes change the non-member code multiset, so
+			// they can affect a's memberships plus any constraint whose
+			// supercube contains the departing or arriving code.
+			for si := range spares {
+				var idx []int
+				seen := map[int]bool{}
+				for _, i := range memberOf[a] {
+					seen[i] = true
+					idx = append(idx, i)
+				}
+				old := e.enc.Codes[a]
+				for i, c := range e.p.Constraints {
+					if seen[i] {
+						continue
+					}
+					sup, _ := supercubeOf(e.enc, c)
+					inOld := (old^sup.vals)&sup.agree == 0
+					inNew := (spares[si]^sup.vals)&sup.agree == 0
+					if inOld || inNew {
+						idx = append(idx, i)
+					}
+				}
+				saved := make([]int, len(idx))
+				for j, i := range idx {
+					saved[j] = est[i]
+				}
+				e.enc.Codes[a] = spares[si]
+				if delta(idx) < 0 {
+					spares[si] = old
+					improved = true
+				} else {
+					e.enc.Codes[a] = old
+					restore(idx, saved)
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+}
+
+// reclassifyFromScratch rebuilds every row's constraint-matrix state from
+// the (possibly polished) final encoding so the reported diagnostics match
+// the returned codes.
+func (e *encoder) reclassifyFromScratch() {
+	for _, t := range e.rows {
+		t.agreeCols = t.agreeCols[:0]
+		t.agreeVals = t.agreeVals[:0]
+		t.satisfied = false
+		t.infeasible = false
+		for s := 0; s < e.n; s++ {
+			if t.outsiders.Has(s) {
+				t.mark[s] = 0
+			} else {
+				t.mark[s] = -1
+			}
+		}
+		for col := 0; col < e.nv; col++ {
+			e.creditColumn(t, col)
+		}
+	}
+}
+
+func newTracked(members face.Constraint, kind Kind, depth, parent int, weight float64) *tracked {
+	n := members.N()
+	t := &tracked{
+		kind:      kind,
+		depth:     depth,
+		parent:    parent,
+		weight:    weight,
+		members:   members.Clone(),
+		outsiders: members.Complement(),
+		mark:      make([]int, n),
+	}
+	for s := 0; s < n; s++ {
+		if !t.outsiders.Has(s) {
+			t.mark[s] = -1
+		}
+	}
+	return t
+}
+
+// minDim returns ceil(log2 m): the smallest cube dimension that can hold m
+// distinct codes.
+func minDim(m int) int {
+	if m <= 1 {
+		return 0
+	}
+	return bits.Len(uint(m - 1))
+}
+
+// updateConstraints is the paper's Update_constraints: mark satisfied
+// rows, Classify the infeasible ones, and add their guide-constraints.
+func (e *encoder) updateConstraints(j int) {
+	for _, t := range e.rows {
+		if !t.satisfied && !t.infeasible && t.unsatisfiedCount() == 0 {
+			t.satisfied = true
+		}
+	}
+	infeasible := e.classify(j)
+	if e.opts.DisableGuides {
+		return
+	}
+	for _, idx := range infeasible {
+		e.addGuide(idx, j)
+	}
+}
+
+// classify returns the indices of rows newly detected infeasible before
+// generating column j. A row is infeasible when its remaining intruders
+// can no longer all be excluded: no columns remain, excluding would shrink
+// its cube below the capacity needed for its members, or it is not
+// nv-compatible with an already-satisfied constraint (paper §3.3).
+func (e *encoder) classify(j int) []int {
+	var out []int
+	remaining := e.nv - j
+	for i, t := range e.rows {
+		if t.satisfied || t.infeasible {
+			continue
+		}
+		intr := t.unsatisfiedCount()
+		if intr == 0 {
+			continue
+		}
+		bad := false
+		switch {
+		case remaining == 0:
+			bad = true
+		case len(t.agreeCols) >= e.nv-minDim(t.members.Count()):
+			// Any further agreeing column (needed to exclude an intruder)
+			// would make the supercube too small for the members.
+			bad = true
+		default:
+			for _, s := range e.rows {
+				if !s.satisfied || s == t {
+					continue
+				}
+				if !e.compatible(s, t) {
+					bad = true
+					break
+				}
+			}
+		}
+		if bad {
+			t.infeasible = true
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// compatible implements the nv-compatibility check of §3.3.1 between a
+// satisfied constraint a and a candidate b: does any admissible triple of
+// cube dimensions (dimA, dimB, dimAB) satisfy the Boolean-algebra
+// conditions and dim(super(A,B)) = dimA + dimB − dimAB ≤ nv?
+func (e *encoder) compatible(a, b *tracked) bool {
+	nv := e.nv
+	cA, cB := a.members.Count(), b.members.Count()
+	son := a.members.IntersectCount(b.members)
+	dALo, dAHi := minDim(cA), nv-len(a.agreeCols)
+	dBLo, dBHi := minDim(cB), nv-len(b.agreeCols)
+	if dALo > dAHi || dBLo > dBHi {
+		return false
+	}
+	if son == 0 {
+		// Disjoint constraints need disjoint cubes: total capacity and
+		// total slack must fit (a necessary condition; paper §3.3.1.b).
+		total := 1 << uint(nv)
+		if 1<<uint(dALo)+1<<uint(dBLo) > total {
+			return false
+		}
+		slack := total - e.n
+		if (1<<uint(dALo)-cA)+(1<<uint(dBLo)-cB) > slack {
+			return false
+		}
+		return true
+	}
+	dSLo := minDim(son)
+	union := cA + cB - son
+	for dA := dALo; dA <= dAHi; dA++ {
+		if 1<<uint(dA) < cA {
+			continue
+		}
+		for dB := dBLo; dB <= dBHi; dB++ {
+			if 1<<uint(dB) < cB {
+				continue
+			}
+			for dS := dSLo; dS <= dA && dS <= dB; dS++ {
+				// Conditions I: a proper son needs a strictly smaller cube;
+				// an equal son the same cube.
+				if son < cA && dS >= dA {
+					continue
+				}
+				if son == cA && dS != dA {
+					continue
+				}
+				if son < cB && dS >= dB {
+					continue
+				}
+				if son == cB && dS != dB {
+					continue
+				}
+				// Conditions II: the son cube's slack fits in each father's.
+				if (1<<uint(dS))-son > (1<<uint(dA))-cA {
+					continue
+				}
+				if (1<<uint(dS))-son > (1<<uint(dB))-cB {
+					continue
+				}
+				dU := dA + dB - dS
+				if dU > nv {
+					continue
+				}
+				if 1<<uint(dU) < union {
+					continue
+				}
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// addGuide substitutes an infeasible row by its guide-constraint: the
+// group constraint on its intruder set, whose tracked dichotomies oppose
+// the original members (the Theorem I condition is a cube of intruders
+// disjoint from the member codes).
+func (e *encoder) addGuide(idx, j int) {
+	t := e.rows[idx]
+	if t.depth >= e.opts.MaxGuideDepth {
+		return
+	}
+	intr := t.intruders()
+	if intr.Count() < 2 {
+		// A single intruder is a 0-cube, trivially disjoint from the
+		// member codes: Theorem I already applies maximally.
+		return
+	}
+	g := newTracked(intr, GuideKind, t.depth+1, idx, t.weight*e.opts.GuideWeight)
+	// A guide's relevant dichotomies oppose only the original members.
+	g.outsiders = t.members.Clone()
+	for s := 0; s < e.n; s++ {
+		if g.outsiders.Has(s) {
+			g.mark[s] = 0
+		} else {
+			g.mark[s] = -1
+		}
+	}
+	// Credit columns generated so far.
+	for col := 0; col < j; col++ {
+		e.creditColumn(g, col)
+	}
+	e.rows = append(e.rows, g)
+}
+
+// creditColumn updates one row's matrix marks and agreeing-column list for
+// an already-generated column col.
+func (e *encoder) creditColumn(t *tracked, col int) {
+	uniform, bit := e.columnUniform(t.members, col)
+	if !uniform {
+		return
+	}
+	t.agreeCols = append(t.agreeCols, col)
+	t.agreeVals = append(t.agreeVals, bit)
+	for s := 0; s < e.n; s++ {
+		if t.outsiders.Has(s) && t.mark[s] == 0 && e.enc.Bit(s, col) != bit {
+			t.mark[s] = col + 1
+		}
+	}
+}
+
+// columnUniform reports whether all members share the same bit in an
+// already-generated column, and that bit.
+func (e *encoder) columnUniform(members face.Constraint, col int) (bool, int) {
+	first := -1
+	for s := 0; s < e.n; s++ {
+		if !members.Has(s) {
+			continue
+		}
+		b := e.enc.Bit(s, col)
+		if first < 0 {
+			first = b
+		} else if b != first {
+			return false, 0
+		}
+	}
+	if first < 0 {
+		return false, 0
+	}
+	return true, first
+}
+
+// solve generates code column j (the paper's Solve): all bits start at 1
+// and bits are flipped greedily — forced while some partial-code class
+// exceeds its capacity 2^(nv−j−1) on one side, then by steepest ascent on
+// the weighted sum of satisfied seed dichotomies (both flip directions,
+// strict improvement) until the column is a local optimum among valid
+// columns.
+func (e *encoder) solve(j int) face.Constraint {
+	e.unsat = e.unsat[:0]
+	for _, t := range e.rows {
+		var u []int
+		if !t.satisfied {
+			for s := 0; s < e.n; s++ {
+				if t.outsiders.Has(s) && t.mark[s] == 0 {
+					u = append(u, s)
+				}
+			}
+		}
+		e.unsat = append(e.unsat, u)
+	}
+	col := face.NewConstraint(e.n).Complement() // all ones
+	if e.startZero {
+		col = face.NewConstraint(e.n)
+	}
+	classCap := 1
+	if rem := e.nv - j - 1; rem < 63 {
+		classCap = 1 << uint(rem)
+	}
+	// Partial-code classes from columns 0..j-1.
+	prefix := make([]uint64, e.n)
+	mask := uint64(1)<<uint(j) - 1
+	for s := 0; s < e.n; s++ {
+		prefix[s] = e.enc.Codes[s] & mask
+	}
+	count := map[uint64][2]int{} // per prefix: symbols on side 0 / side 1
+	for s := 0; s < e.n; s++ {
+		c := count[prefix[s]]
+		if col.Has(s) {
+			c[1]++
+		} else {
+			c[0]++
+		}
+		count[prefix[s]] = c
+	}
+	base := e.columnCost(col)
+	maxMoves := 6*e.n + 8
+	for move := 0; move < maxMoves; move++ {
+		oversized := false
+		for _, c := range count {
+			if c[0] > classCap || c[1] > classCap {
+				oversized = true
+				break
+			}
+		}
+		bestS, bestGain := -1, 0.0
+		for s := 0; s < e.n; s++ {
+			from := 0
+			if col.Has(s) {
+				from = 1
+			}
+			to := 1 - from
+			c := count[prefix[s]]
+			if oversized && c[from] <= classCap {
+				continue // forced moves must relieve an oversized side
+			}
+			if c[to]+1 > classCap {
+				continue // would overfill the target side
+			}
+			flip(col, s)
+			gain := e.columnCost(col) - base
+			flip(col, s)
+			if bestS < 0 || gain > bestGain {
+				bestS, bestGain = s, gain
+			}
+		}
+		if bestS < 0 {
+			break // no admissible move (only possible when valid)
+		}
+		if !oversized && bestGain <= 0 {
+			break // local optimum among valid columns
+		}
+		from := 0
+		if col.Has(bestS) {
+			from = 1
+		}
+		flip(col, bestS)
+		c := count[prefix[bestS]]
+		c[from]--
+		c[1-from]++
+		count[prefix[bestS]] = c
+		base += bestGain
+	}
+	return col
+}
+
+func flip(col face.Constraint, s int) {
+	if col.Has(s) {
+		col.Remove(s)
+	} else {
+		col.Add(s)
+	}
+}
+
+// columnCost is the weighted sum of seed dichotomies the column would
+// newly satisfy. The weight of a dichotomy is its constraint's weight
+// (multiplicity × kind factor) divided by the number of its dichotomies
+// still unsatisfied, favoring constraints close to fulfillment — and,
+// through the guide rows, the economical implementation of infeasible
+// ones.
+func (e *encoder) columnCost(col face.Constraint) float64 {
+	total := 0.0
+	for ri, t := range e.rows {
+		u := e.unsat[ri]
+		if t.satisfied || len(u) == 0 {
+			continue
+		}
+		in := t.members.IntersectCount(col)
+		cnt := t.members.Count()
+		var bit int
+		switch in {
+		case 0:
+			bit = 0
+		case cnt:
+			bit = 1
+		default:
+			continue // members not uniform: no dichotomy satisfied
+		}
+		newly := 0
+		for _, s := range u {
+			sBit := 0
+			if col.Has(s) {
+				sBit = 1
+			}
+			if sBit != bit {
+				newly++
+			}
+		}
+		if newly > 0 {
+			total += t.weight * float64(newly) / float64(len(u))
+		}
+	}
+	return total
+}
+
+// apply writes the column into the encoding and updates every row's
+// constraint matrix marks.
+func (e *encoder) apply(col face.Constraint, j int) {
+	for s := 0; s < e.n; s++ {
+		b := 0
+		if col.Has(s) {
+			b = 1
+		}
+		e.enc.SetBit(s, j, b)
+	}
+	for _, t := range e.rows {
+		e.creditColumn(t, j)
+	}
+}
+
+// finalClassify settles the satisfied/infeasible status after the last
+// column.
+func (e *encoder) finalClassify() {
+	for _, t := range e.rows {
+		if t.satisfied || t.infeasible {
+			continue
+		}
+		if t.unsatisfiedCount() == 0 {
+			t.satisfied = true
+		} else {
+			t.infeasible = true
+		}
+	}
+}
+
+func (e *encoder) result() *Result {
+	r := &Result{
+		Encoding:      e.enc,
+		Satisfied:     make([]bool, e.nOri),
+		Infeasible:    make([]bool, e.nOri),
+		TheoremICubes: make([]int, e.nOri),
+	}
+	for i := 0; i < e.nOri; i++ {
+		t := e.rows[i]
+		r.Satisfied[i] = t.satisfied
+		r.Infeasible[i] = !t.satisfied
+		if !t.satisfied {
+			if k, ok := TheoremI(e.enc, e.p.Constraints[i]); ok {
+				r.TheoremICubes[i] = k
+			}
+		}
+	}
+	for _, t := range e.rows[e.nOri:] {
+		r.Guides = append(r.Guides, t.members.Clone())
+	}
+	return r
+}
+
+// TheoremI applies the paper's Theorem I to a violated constraint under a
+// complete encoding: when the intruder codes' supercube contains no member
+// code, the constraint is implementable with
+// dim(super(L)) − dim(super(I)) product terms. It returns that count and
+// whether the theorem applies.
+func TheoremI(e *face.Encoding, L face.Constraint) (int, bool) {
+	sup, supDim := supercubeOf(e, L)
+	intr := e.Intruders(L)
+	if len(intr) == 0 {
+		return 1, true // satisfied: a single cube
+	}
+	iSet := face.FromMembers(L.N(), intr...)
+	iSup, iDim := supercubeOf(e, iSet)
+	// The theorem needs the intruder cube disjoint from every member code.
+	for _, m := range L.Members() {
+		if codeInside(e, m, iSup) {
+			return 0, false
+		}
+	}
+	_ = sup
+	return supDim - iDim, true
+}
+
+// TheoremICover builds the constructive cover of Theorem I over the
+// encoding's code space: for each literal of super(I) not in super(L), one
+// cube equal to super(I) with that literal complemented and the remaining
+// such literals freed. It returns nil, false when the theorem does not
+// apply.
+func TheoremICover(e *face.Encoding, L face.Constraint) (*cover.Cover, bool) {
+	d := cube.Binary(e.NV)
+	intr := e.Intruders(L)
+	if len(intr) == 0 {
+		// Satisfied constraint: its supercube is the single-cube cover.
+		sup, _ := supercubeOf(e, L)
+		f := cover.New(d)
+		f.Add(maskedCube(d, e.NV, sup))
+		return f, true
+	}
+	iSet := face.FromMembers(L.N(), intr...)
+	iSup, _ := supercubeOf(e, iSet)
+	for _, m := range L.Members() {
+		if codeInside(e, m, iSup) {
+			return nil, false
+		}
+	}
+	lSup, _ := supercubeOf(e, L)
+	f := cover.New(d)
+	for col := 0; col < e.NV; col++ {
+		if !iSup.fixed(col) || lSup.fixed(col) {
+			continue // not a literal of super(I) exclusive to it
+		}
+		c := d.Universe()
+		// Keep super(I)'s other literals that are also in super(L); set
+		// this column to the complement of super(I)'s value; free the
+		// remaining exclusive literals.
+		for k := 0; k < e.NV; k++ {
+			switch {
+			case k == col:
+				if iSup.val(k) == 0 {
+					d.SetBinLit(c, k, cube.LitOne)
+				} else {
+					d.SetBinLit(c, k, cube.LitZero)
+				}
+			case lSup.fixed(k):
+				if lSup.val(k) == 0 {
+					d.SetBinLit(c, k, cube.LitZero)
+				} else {
+					d.SetBinLit(c, k, cube.LitOne)
+				}
+			}
+		}
+		f.Add(c)
+	}
+	return f, true
+}
+
+// bcube is a binary supercube summary: per column, fixed value or free.
+type bcube struct {
+	agree uint64 // bit set: column fixed
+	vals  uint64 // fixed value per column
+}
+
+func (b bcube) fixed(col int) bool { return b.agree>>uint(col)&1 == 1 }
+func (b bcube) val(col int) int    { return int(b.vals >> uint(col) & 1) }
+
+// supercubeOf computes the supercube of the codes of set's members and its
+// dimension (number of free columns).
+func supercubeOf(e *face.Encoding, set face.Constraint) (bcube, int) {
+	var b bcube
+	members := set.Members()
+	if len(members) == 0 {
+		return b, 0
+	}
+	mask := uint64(1)<<uint(e.NV) - 1
+	if e.NV == 64 {
+		mask = ^uint64(0)
+	}
+	b.agree = mask
+	b.vals = e.Codes[members[0]] & mask
+	for _, m := range members[1:] {
+		b.agree &^= (b.vals ^ e.Codes[m]) & mask
+	}
+	b.vals &= b.agree
+	return b, e.NV - bits.OnesCount64(b.agree)
+}
+
+// codeInside reports whether symbol sym's code lies in the supercube b.
+func codeInside(e *face.Encoding, sym int, b bcube) bool {
+	return (e.Codes[sym]^b.vals)&b.agree == 0
+}
+
+// maskedCube converts a bcube to a cube.Cube over a binary domain.
+func maskedCube(d *cube.Domain, nv int, b bcube) cube.Cube {
+	c := d.Universe()
+	for col := 0; col < nv; col++ {
+		if b.fixed(col) {
+			if b.val(col) == 0 {
+				d.SetBinLit(c, col, cube.LitZero)
+			} else {
+				d.SetBinLit(c, col, cube.LitOne)
+			}
+		}
+	}
+	return c
+}

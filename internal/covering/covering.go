@@ -1,0 +1,127 @@
+// Package covering solves the unate covering problem — pick a minimum set
+// of columns such that every row has a picked column — by branch and bound
+// with a greedy incumbent. It is shared by the exact two-level minimizer
+// (prime selection) and espresso's irredundant pass (partially-redundant
+// cube selection).
+package covering
+
+// Options tune the solver.
+type Options struct {
+	// MaxNodes bounds the search; 0 means the default (5,000,000). When
+	// exceeded the greedy incumbent is returned (still a valid cover).
+	MaxNodes int
+}
+
+// Solve returns a minimum (or, on budget exhaustion, at least feasible
+// and greedy-good) set of column indices covering all rows. rowCols[r]
+// lists the columns covering row r; every row must have at least one.
+func Solve(rowCols [][]int, ncols int, opts ...Options) []int {
+	var o Options
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	if o.MaxNodes == 0 {
+		o.MaxNodes = 5_000_000
+	}
+	best := Greedy(rowCols, ncols)
+	colRows := make([][]int, ncols)
+	for ri, cols := range rowCols {
+		for _, c := range cols {
+			colRows[c] = append(colRows[c], ri)
+		}
+	}
+	var cur []int
+	covered := make([]int, len(rowCols))
+	uncovered := len(rowCols)
+	nodes := 0
+	pick := func(c int) {
+		cur = append(cur, c)
+		for _, ri := range colRows[c] {
+			if covered[ri] == 0 {
+				uncovered--
+			}
+			covered[ri]++
+		}
+	}
+	unpick := func() {
+		c := cur[len(cur)-1]
+		cur = cur[:len(cur)-1]
+		for _, ri := range colRows[c] {
+			covered[ri]--
+			if covered[ri] == 0 {
+				uncovered++
+			}
+		}
+	}
+	var dfs func()
+	dfs = func() {
+		nodes++
+		if nodes > o.MaxNodes {
+			return
+		}
+		if uncovered == 0 {
+			if len(cur) < len(best) {
+				best = append(best[:0], cur...)
+			}
+			return
+		}
+		if len(cur)+1 >= len(best) {
+			return
+		}
+		bestRow, bestLen := -1, 1<<30
+		for ri, cols := range rowCols {
+			if covered[ri] > 0 {
+				continue
+			}
+			if len(cols) < bestLen {
+				bestRow, bestLen = ri, len(cols)
+			}
+		}
+		for _, c := range rowCols[bestRow] {
+			pick(c)
+			dfs()
+			unpick()
+		}
+	}
+	dfs()
+	return best
+}
+
+// Greedy returns a feasible cover by repeatedly taking the column
+// covering the most uncovered rows (ties to the lowest index).
+func Greedy(rowCols [][]int, ncols int) []int {
+	colRows := make([][]int, ncols)
+	for ri, cols := range rowCols {
+		for _, c := range cols {
+			colRows[c] = append(colRows[c], ri)
+		}
+	}
+	covered := make([]bool, len(rowCols))
+	left := len(rowCols)
+	var out []int
+	for left > 0 {
+		bestC, bestGain := -1, 0
+		for c := 0; c < ncols; c++ {
+			gain := 0
+			for _, ri := range colRows[c] {
+				if !covered[ri] {
+					gain++
+				}
+			}
+			if gain > bestGain {
+				bestC, bestGain = c, gain
+			}
+		}
+		if bestC < 0 {
+			break
+		}
+		out = append(out, bestC)
+		for _, ri := range colRows[bestC] {
+			if !covered[ri] {
+				covered[ri] = true
+				left--
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,118 @@
+// Package dichotomy implements seed dichotomies, the unit of work of
+// dichotomy-based encoding algorithms.
+//
+// A seed dichotomy of a group constraint L is the ordered pair (L : s) for
+// one symbol s outside L. A code column (a 0/1 assignment to every symbol)
+// satisfies (L : s) when all members of L receive the same bit and s
+// receives the opposite bit; a group constraint is satisfied exactly when
+// all of its seed dichotomies are satisfied by some column (paper, §2).
+package dichotomy
+
+import (
+	"fmt"
+
+	"picola/internal/face"
+)
+
+// Dichotomy is a seed dichotomy (Block : Out).
+type Dichotomy struct {
+	Block face.Constraint // the constraint's members
+	Out   int             // the single outside symbol
+}
+
+// String renders the dichotomy compactly.
+func (d Dichotomy) String() string {
+	return fmt.Sprintf("(%v : %d)", d.Block.Members(), d.Out)
+}
+
+// Column is a code column: the set of symbols assigned bit 1 (the bitset's
+// complement holds bit 0).
+type Column = face.Constraint
+
+// SeedsOf returns all seed dichotomies of constraint c over n symbols: one
+// per non-member.
+func SeedsOf(c face.Constraint) []Dichotomy {
+	var out []Dichotomy
+	for s := 0; s < c.N(); s++ {
+		if !c.Has(s) {
+			out = append(out, Dichotomy{Block: c, Out: s})
+		}
+	}
+	return out
+}
+
+// SeedsOfProblem returns the seed dichotomies of every constraint of p, in
+// constraint order.
+func SeedsOfProblem(p *face.Problem) []Dichotomy {
+	var out []Dichotomy
+	for _, c := range p.Constraints {
+		out = append(out, SeedsOf(c)...)
+	}
+	return out
+}
+
+// BlockUniform reports whether all members of block receive the same bit
+// under col, and that bit (meaningless when false).
+func BlockUniform(block face.Constraint, col Column) (uniform bool, bit int) {
+	cnt := block.Count()
+	if cnt == 0 {
+		return true, 0
+	}
+	in := block.IntersectCount(col)
+	switch in {
+	case 0:
+		return true, 0
+	case cnt:
+		return true, 1
+	default:
+		return false, 0
+	}
+}
+
+// Satisfied reports whether column col satisfies the dichotomy: block
+// uniform and the out symbol on the opposite side.
+func Satisfied(d Dichotomy, col Column) bool {
+	uniform, bit := BlockUniform(d.Block, col)
+	if !uniform {
+		return false
+	}
+	outBit := 0
+	if col.Has(d.Out) {
+		outBit = 1
+	}
+	return outBit != bit
+}
+
+// SatisfiedByEncoding reports whether any column of e satisfies d.
+func SatisfiedByEncoding(d Dichotomy, e *face.Encoding) bool {
+	for c := 0; c < e.NV; c++ {
+		col := ColumnOf(e, c)
+		if Satisfied(d, col) {
+			return true
+		}
+	}
+	return false
+}
+
+// ColumnOf extracts column c of encoding e as a Column bitset.
+func ColumnOf(e *face.Encoding, c int) Column {
+	col := face.NewConstraint(e.N())
+	for s := 0; s < e.N(); s++ {
+		if e.Bit(s, c) == 1 {
+			col.Add(s)
+		}
+	}
+	return col
+}
+
+// CountSatisfied returns how many of the dichotomies are satisfied by at
+// least one column of e.
+func CountSatisfied(ds []Dichotomy, e *face.Encoding) int {
+	n := 0
+	for _, d := range ds {
+		if SatisfiedByEncoding(d, e) {
+			n++
+		}
+	}
+	return n
+}

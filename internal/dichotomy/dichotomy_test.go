@@ -1,0 +1,100 @@
+package dichotomy
+
+import (
+	"math/rand"
+	"testing"
+
+	"picola/internal/face"
+)
+
+func TestSeedsOf(t *testing.T) {
+	c := face.FromMembers(5, 1, 2)
+	seeds := SeedsOf(c)
+	if len(seeds) != 3 {
+		t.Fatalf("seeds = %d", len(seeds))
+	}
+	outs := map[int]bool{}
+	for _, d := range seeds {
+		outs[d.Out] = true
+		if !d.Block.Equal(c) {
+			t.Fatal("block must be the constraint")
+		}
+	}
+	if !outs[0] || !outs[3] || !outs[4] {
+		t.Fatalf("outs = %v", outs)
+	}
+}
+
+func TestSatisfied(t *testing.T) {
+	c := face.FromMembers(4, 0, 1)
+	d := Dichotomy{Block: c, Out: 2}
+	col := face.FromMembers(4, 0, 1) // members 1, out 0
+	if !Satisfied(d, col) {
+		t.Fatal("must be satisfied: members on 1, out on 0")
+	}
+	col2 := face.FromMembers(4, 2) // members 0, out 1
+	if !Satisfied(d, col2) {
+		t.Fatal("must be satisfied: members on 0, out on 1")
+	}
+	col3 := face.FromMembers(4, 0) // members split
+	if Satisfied(d, col3) {
+		t.Fatal("split block cannot satisfy")
+	}
+	col4 := face.FromMembers(4, 0, 1, 2) // out on same side
+	if Satisfied(d, col4) {
+		t.Fatal("out on the member side cannot satisfy")
+	}
+}
+
+func TestSatisfiedByEncodingMatchesIntruders(t *testing.T) {
+	// A constraint is satisfied (no intruders) iff all its seed
+	// dichotomies are satisfied by some column.
+	r := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 300; trial++ {
+		n := 3 + r.Intn(10)
+		nv := 2 + r.Intn(4)
+		e := face.NewEncoding(n, nv)
+		for s := 0; s < n; s++ {
+			e.Codes[s] = uint64(r.Intn(1 << uint(nv)))
+		}
+		c := face.NewConstraint(n)
+		for s := 0; s < n; s++ {
+			if r.Intn(3) == 0 {
+				c.Add(s)
+			}
+		}
+		if c.Count() == 0 || c.Count() == n {
+			continue
+		}
+		all := true
+		for _, d := range SeedsOf(c) {
+			if !SatisfiedByEncoding(d, e) {
+				all = false
+				break
+			}
+		}
+		if all != e.Satisfied(c) {
+			t.Fatalf("seed view %v, supercube view %v (n=%d nv=%d)", all, e.Satisfied(c), n, nv)
+		}
+	}
+}
+
+func TestColumnOfAndCount(t *testing.T) {
+	e := face.NewEncoding(3, 2)
+	e.Codes[0] = 0b01
+	e.Codes[1] = 0b10
+	e.Codes[2] = 0b11
+	col0 := ColumnOf(e, 0)
+	if !col0.Has(0) || col0.Has(1) || !col0.Has(2) {
+		t.Fatal("ColumnOf wrong")
+	}
+	p := &face.Problem{Names: make([]string, 3)}
+	p.AddConstraint(face.FromMembers(3, 0, 2)) // column 0 satisfies (block 1, out 0)
+	ds := SeedsOfProblem(p)
+	if len(ds) != 1 {
+		t.Fatalf("seeds = %d", len(ds))
+	}
+	if got := CountSatisfied(ds, e); got != 1 {
+		t.Fatalf("CountSatisfied = %d", got)
+	}
+}

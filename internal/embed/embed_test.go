@@ -1,0 +1,158 @@
+package embed
+
+import (
+	"math/rand"
+	"testing"
+
+	"picola/internal/core"
+	"picola/internal/face"
+)
+
+func paperProblem() *face.Problem {
+	p := &face.Problem{Names: make([]string, 15)}
+	mk := func(syms ...int) face.Constraint {
+		c := face.NewConstraint(15)
+		for _, s := range syms {
+			c.Add(s - 1)
+		}
+		return c
+	}
+	p.Constraints = []face.Constraint{
+		mk(2, 6, 8, 14), mk(1, 2), mk(9, 14), mk(6, 7, 8, 9, 14),
+	}
+	return p
+}
+
+func TestFeasibleTrivial(t *testing.T) {
+	p := &face.Problem{Names: make([]string, 4)}
+	p.AddConstraint(face.FromMembers(4, 0, 1))
+	res, e, err := Feasible(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != Satisfiable {
+		t.Fatalf("result = %v", res)
+	}
+	if !e.Injective() || !e.Satisfied(p.Constraints[0]) {
+		t.Fatal("witness invalid")
+	}
+}
+
+func TestInfeasibleCapacity(t *testing.T) {
+	// 4 symbols, 2 bits: the diagonal pair {0,2} of a full square plus all
+	// four edges cannot all be faces.
+	p := &face.Problem{Names: make([]string, 4)}
+	p.AddConstraint(face.FromMembers(4, 0, 1))
+	p.AddConstraint(face.FromMembers(4, 1, 2))
+	p.AddConstraint(face.FromMembers(4, 2, 3))
+	p.AddConstraint(face.FromMembers(4, 3, 0))
+	p.AddConstraint(face.FromMembers(4, 0, 2))
+	res, _, err := Feasible(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != Infeasible {
+		t.Fatalf("result = %v, want infeasible", res)
+	}
+	// With one more bit there is room.
+	res, e, err := Feasible(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != Satisfiable {
+		t.Fatalf("result = %v, want satisfiable at 3 bits", res)
+	}
+	for i, c := range p.Constraints {
+		if !e.Satisfied(c) {
+			t.Fatalf("constraint %d unsatisfied in witness", i)
+		}
+	}
+}
+
+func TestPaperProblemExactLength(t *testing.T) {
+	p := paperProblem()
+	res, _, err := Feasible(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != Infeasible {
+		t.Fatalf("the paper's full set must be infeasible in B^4, got %v", res)
+	}
+	nv, e, res, err := MinLength(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != Satisfiable {
+		t.Fatalf("result = %v", res)
+	}
+	if nv != 5 {
+		t.Fatalf("exact minimum length = %d, want 5", nv)
+	}
+	for i, c := range p.Constraints {
+		if !e.Satisfied(c) {
+			t.Fatalf("constraint %d unsatisfied", i)
+		}
+	}
+}
+
+func TestExactLowerBoundsHeuristic(t *testing.T) {
+	r := rand.New(rand.NewSource(113))
+	for trial := 0; trial < 20; trial++ {
+		n := 4 + r.Intn(5)
+		p := &face.Problem{Names: make([]string, n)}
+		for k := 0; k < 2+r.Intn(4); k++ {
+			c := face.NewConstraint(n)
+			for s := 0; s < n; s++ {
+				if r.Intn(3) == 0 {
+					c.Add(s)
+				}
+			}
+			p.AddConstraint(c)
+		}
+		exactNV, _, res, err := MinLength(p, Options{MaxNodes: 30_000_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res != Satisfiable {
+			t.Fatalf("small problem must be decidable, got %v", res)
+		}
+		heur, err := core.EncodeAll(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if heur.Encoding.NV < exactNV {
+			t.Fatalf("heuristic found %d bits below the exact minimum %d", heur.Encoding.NV, exactNV)
+		}
+	}
+}
+
+func TestUnknownOnTinyBudget(t *testing.T) {
+	p := &face.Problem{Names: make([]string, 12)}
+	for k := 0; k < 8; k++ {
+		c := face.NewConstraint(12)
+		for s := 0; s < 12; s++ {
+			if (s+k)%3 == 0 {
+				c.Add(s)
+			}
+		}
+		p.AddConstraint(c)
+	}
+	res, _, err := Feasible(p, 4, Options{MaxNodes: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == Satisfiable {
+		t.Fatal("ten nodes cannot certify feasibility here")
+	}
+}
+
+func TestTooFewBits(t *testing.T) {
+	p := &face.Problem{Names: make([]string, 5)}
+	res, _, err := Feasible(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != Infeasible {
+		t.Fatal("2 bits cannot hold 5 codes")
+	}
+}

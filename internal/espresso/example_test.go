@@ -1,0 +1,45 @@
+package espresso_test
+
+import (
+	"fmt"
+
+	"picola/internal/cover"
+	"picola/internal/cube"
+	"picola/internal/espresso"
+)
+
+// ExampleMinimize minimizes the classic f = Σm(0,1,3,5,7) to its optimal
+// two-cube form a'b' + c.
+func ExampleMinimize() {
+	d := cube.Binary(3)
+	f := &espresso.Function{
+		D:  d,
+		On: cover.FromStrings(d, "000", "001", "011", "101", "111"),
+	}
+	min, err := espresso.Minimize(f)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(min)
+	// Output:
+	// --1
+	// 00-
+}
+
+// ExampleMinimize_dontCares shows don't-cares collapsing a pair of
+// minterms into one cube.
+func ExampleMinimize_dontCares() {
+	d := cube.Binary(3)
+	f := &espresso.Function{
+		D:  d,
+		On: cover.FromStrings(d, "000", "011"),
+		DC: cover.FromStrings(d, "001", "010"),
+	}
+	min, err := espresso.Minimize(f)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(min)
+	// Output:
+	// 0--
+}

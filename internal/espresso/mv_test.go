@@ -1,0 +1,108 @@
+package espresso
+
+import (
+	"math/rand"
+	"testing"
+
+	"picola/internal/cover"
+	"picola/internal/cube"
+)
+
+// enumerate lists all minterms of a domain.
+func enumerate(d *cube.Domain) []cube.Cube {
+	var out []cube.Cube
+	var rec func(v int, c cube.Cube)
+	rec = func(v int, c cube.Cube) {
+		if v == d.NumVars() {
+			out = append(out, c.Clone())
+			return
+		}
+		for val := 0; val < d.Size(v); val++ {
+			d.Restrict(c, v, val)
+			rec(v+1, c)
+			d.SetAll(c, v)
+		}
+	}
+	rec(0, d.Universe())
+	return out
+}
+
+func containsMinterm(d *cube.Domain, f *cover.Cover, m cube.Cube) bool {
+	for _, c := range f.Cubes {
+		if d.Contains(c, m) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestMinimizeMVBruteForce checks, minterm by minterm, that minimization
+// over mixed binary/multi-valued domains preserves the function: every ON
+// point stays covered and nothing outside ON ∪ DC is asserted.
+func TestMinimizeMVBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(301))
+	domains := []*cube.Domain{
+		cube.New(3, 2, 2),
+		cube.New(2, 4, 3),
+		cube.New(5, 2, 2),
+		cube.New(2, 2, 2, 3),
+	}
+	for _, d := range domains {
+		ms := enumerate(d)
+		for trial := 0; trial < 20; trial++ {
+			on := cover.New(d)
+			dc := cover.New(d)
+			for _, m := range ms {
+				switch r.Intn(4) {
+				case 0:
+					on.Add(m.Clone())
+				case 1:
+					dc.Add(m.Clone())
+				}
+			}
+			f := &Function{D: d, On: on, DC: dc}
+			min, err := Minimize(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, m := range ms {
+				inOn := containsMinterm(d, on, m)
+				inDC := containsMinterm(d, dc, m) && !inOn
+				inMin := containsMinterm(d, min, m)
+				if inOn && !inMin {
+					t.Fatalf("ON minterm %s lost", d.String(m))
+				}
+				if inMin && !inOn && !inDC {
+					t.Fatalf("OFF minterm %s asserted", d.String(m))
+				}
+			}
+			if min.Len() > on.Len() {
+				t.Fatalf("minimization grew the cover: %d -> %d", on.Len(), min.Len())
+			}
+		}
+	}
+}
+
+// TestMinimizeSymbolicMerging: the central MV behavior the constraint
+// extraction depends on — identical behavior across symbolic values
+// merges into one implicant with a widened symbolic literal.
+func TestMinimizeSymbolicMerging(t *testing.T) {
+	// One 4-valued symbolic variable, one binary input, a 3-valued output
+	// variable.
+	d := cube.New(4, 2, 3)
+	// Symbols 0 and 2 behave identically (output 0 on x=1).
+	f := &Function{D: d, On: cover.FromStrings(d,
+		"[1000]1[100]",
+		"[0010]1[100]",
+	)}
+	min, err := Minimize(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min.Len() != 1 {
+		t.Fatalf("identical symbolic behavior must merge:\n%s", min)
+	}
+	if d.PartCount(min.Cubes[0], 0) != 2 {
+		t.Fatalf("merged literal must hold both symbols: %s", d.String(min.Cubes[0]))
+	}
+}

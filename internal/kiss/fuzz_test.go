@@ -1,0 +1,27 @@
+package kiss
+
+import "testing"
+
+func FuzzParse(f *testing.F) {
+	f.Add(".i 2\n.o 1\n00 a b 1\n-- b a 0\n.e\n")
+	f.Add(".i 1\n.o 2\n.r s0\n0 s0 * --\n")
+	f.Add(".i 0\n.o 0\n")
+	f.Fuzz(func(t *testing.T, s string) {
+		m, err := ParseString(s)
+		if err != nil {
+			return
+		}
+		// Anything accepted must be internally valid and survive a
+		// write/parse round trip without changing shape.
+		if err := m.Validate(); err != nil {
+			t.Fatalf("accepted machine fails validation: %v", err)
+		}
+		m2, err := ParseString(m.String())
+		if err != nil {
+			t.Fatalf("round trip rejected: %v\n%s", err, m.String())
+		}
+		if m2.NumStates() != m.NumStates() || len(m2.Transitions) != len(m.Transitions) {
+			t.Fatal("round trip changed the machine")
+		}
+	})
+}

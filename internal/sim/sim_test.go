@@ -1,0 +1,117 @@
+package sim
+
+import (
+	"testing"
+
+	"picola/internal/benchgen"
+	"picola/internal/kiss"
+	"picola/internal/stassign"
+)
+
+const toy = `
+.i 2
+.o 2
+.r a
+00 a a 00
+01 a b 01
+1- a c 10
+-- b a 11
+0- c b 00
+1- c c 01
+`
+
+func TestMachineStep(t *testing.T) {
+	m, err := kiss.ParseString(toy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewMachine(m)
+	out, next, ok := s.Step("01")
+	if !ok || out != "01" || next != "b" || s.State != "b" {
+		t.Fatalf("step1: %q %q %v state=%s", out, next, ok, s.State)
+	}
+	out, next, ok = s.Step("11")
+	if !ok || out != "11" || next != "a" {
+		t.Fatalf("step2: %q %q %v", out, next, ok)
+	}
+	out, next, ok = s.Step("10")
+	if !ok || out != "10" || next != "c" {
+		t.Fatalf("step3: %q %q %v", out, next, ok)
+	}
+}
+
+func TestMachineUncoveredInput(t *testing.T) {
+	m, err := kiss.ParseString(".i 1\n.o 1\n0 a a 1\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewMachine(m)
+	out, next, ok := s.Step("1")
+	if ok || next != "*" || out != "-" {
+		t.Fatalf("uncovered input must not match: %q %q %v", out, next, ok)
+	}
+	if s.State != "a" {
+		t.Fatal("state must not advance on an unmatched input")
+	}
+}
+
+func TestVerifyEquivalenceToy(t *testing.T) {
+	m, err := kiss.ParseString(toy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := stassign.Assign(m, stassign.Options{Encoder: stassign.Picola})
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, d, err := stassign.MinimizeEncoded(m, rep.Encoding)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyEquivalence(m, rep.Encoding, d, min, 20, 50, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyEquivalenceBenchmarks(t *testing.T) {
+	for _, name := range []string{"bbara", "dk14", "opus"} {
+		spec, _ := benchgen.ByName(name)
+		m := benchgen.Generate(spec)
+		for _, enc := range []stassign.Encoder{stassign.Picola, stassign.NovaIH} {
+			rep, err := stassign.Assign(m, stassign.Options{Encoder: enc, Seed: 1})
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			min, d, err := stassign.MinimizeEncoded(m, rep.Encoding)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := VerifyEquivalence(m, rep.Encoding, d, min, 10, 60, 7); err != nil {
+				t.Fatalf("%s/%v: %v", name, enc, err)
+			}
+		}
+	}
+}
+
+func TestVerifyCatchesCorruption(t *testing.T) {
+	m, err := kiss.ParseString(toy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := stassign.Assign(m, stassign.Options{Encoder: stassign.Picola})
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, d, err := stassign.MinimizeEncoded(m, rep.Encoding)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the cover: drop a cube. Some behavior must now disagree.
+	if min.Len() < 2 {
+		t.Skip("cover too small to corrupt")
+	}
+	corrupt := min.Without(0)
+	if err := VerifyEquivalence(m, rep.Encoding, d, corrupt, 30, 60, 2); err == nil {
+		t.Fatal("corrupted implementation must fail verification")
+	}
+}

@@ -1,0 +1,203 @@
+// Package symbolic derives face-constrained encoding problems from finite
+// state machines by multi-valued symbolic minimization, following the
+// construction the paper uses for its benchmark set: the FSM's next-state
+// field is substituted by a one-hot code, the present state becomes a
+// multi-valued input variable, and the cover is minimized with espresso.
+// Every implicant of the minimized cover whose present-state literal
+// contains at least two (and not all) states contributes a group
+// constraint.
+package symbolic
+
+import (
+	"fmt"
+
+	"picola/internal/cover"
+	"picola/internal/cube"
+	"picola/internal/espresso"
+	"picola/internal/face"
+	"picola/internal/kiss"
+)
+
+// Cover is the symbolic (multi-valued) representation of an FSM's
+// combinational logic: binary inputs, one MV present-state variable, and
+// an output variable holding the one-hot next state followed by the
+// primary outputs. The OFF-set is constructed explicitly — per-row '0'
+// outputs and, for every state, the input regions no transition covers
+// (which assert nothing under the two-level FSM implementation model) —
+// so the minimizer never needs the expensive multi-valued complement.
+type Cover struct {
+	M   *kiss.FSM
+	D   *cube.Domain
+	On  *cover.Cover
+	DC  *cover.Cover
+	Off *cover.Cover
+}
+
+// psVar returns the index of the present-state variable.
+func (c *Cover) psVar() int { return c.M.NumInputs }
+
+// Build constructs the symbolic cover of an FSM. The output variable has
+// NumStates one-hot next-state values followed by NumOutputs primary
+// output values. Unspecified input/state combinations are treated as OFF
+// (the espresso fd convention), matching the standard two-level FSM
+// implementation model.
+func Build(m *kiss.FSM) (*Cover, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	ns := m.NumStates()
+	if ns == 0 {
+		return nil, fmt.Errorf("symbolic: machine has no states")
+	}
+	sizes := make([]int, 0, m.NumInputs+2)
+	for i := 0; i < m.NumInputs; i++ {
+		sizes = append(sizes, 2)
+	}
+	sizes = append(sizes, ns)              // present state
+	sizes = append(sizes, ns+m.NumOutputs) // one-hot next state ++ outputs
+	d := cube.New(sizes...)
+	sc := &Cover{M: m, D: d, On: cover.New(d), DC: cover.New(d), Off: cover.New(d)}
+	ps := sc.psVar()
+	ov := ps + 1
+	bin := cube.Binary(m.NumInputs)
+	inputCubes := make(map[string]*cover.Cover) // per present state
+	for _, t := range m.Transitions {
+		base := d.NewCube()
+		inCube := bin.Universe()
+		for v := 0; v < m.NumInputs; v++ {
+			switch t.Input[v] {
+			case '0':
+				d.Set(base, v, 0)
+				bin.SetBinLit(inCube, v, cube.LitZero)
+			case '1':
+				d.Set(base, v, 1)
+				bin.SetBinLit(inCube, v, cube.LitOne)
+			case '-':
+				d.Set(base, v, 0)
+				d.Set(base, v, 1)
+			}
+		}
+		d.Set(base, ps, m.StateIndex(t.From))
+		if inputCubes[t.From] == nil {
+			inputCubes[t.From] = cover.New(bin)
+		}
+		inputCubes[t.From].Add(inCube)
+		on := base.Clone()
+		dc := base.Clone()
+		offc := base.Clone()
+		var hasOn, hasDC, hasOff bool
+		if t.To == "*" {
+			// Unspecified next state: every next-state output is DC.
+			for j := 0; j < ns; j++ {
+				d.Set(dc, ov, j)
+			}
+			hasDC = true
+		} else {
+			to := m.StateIndex(t.To)
+			d.Set(on, ov, to)
+			hasOn = true
+			for j := 0; j < ns; j++ {
+				if j != to {
+					d.Set(offc, ov, j)
+					hasOff = true
+				}
+			}
+		}
+		for j := 0; j < m.NumOutputs; j++ {
+			switch t.Output[j] {
+			case '1':
+				d.Set(on, ov, ns+j)
+				hasOn = true
+			case '-':
+				d.Set(dc, ov, ns+j)
+				hasDC = true
+			case '0':
+				d.Set(offc, ov, ns+j)
+				hasOff = true
+			}
+		}
+		if hasOn {
+			sc.On.Add(on)
+		}
+		if hasDC {
+			sc.DC.Add(dc)
+		}
+		if hasOff {
+			sc.Off.Add(offc)
+		}
+	}
+	// Input regions no transition of a state covers assert nothing: every
+	// output value is OFF there.
+	for _, st := range m.States {
+		var uncovered *cover.Cover
+		if ic := inputCubes[st]; ic != nil {
+			uncovered = ic.Complement()
+		} else {
+			uncovered = cover.New(bin)
+			uncovered.Add(bin.Universe())
+		}
+		for _, u := range uncovered.Cubes {
+			row := d.NewCube()
+			for v := 0; v < m.NumInputs; v++ {
+				switch bin.BinLit(u, v) {
+				case cube.LitZero:
+					d.Set(row, v, 0)
+				case cube.LitOne:
+					d.Set(row, v, 1)
+				default:
+					d.Set(row, v, 0)
+					d.Set(row, v, 1)
+				}
+			}
+			d.Set(row, ps, m.StateIndex(st))
+			for j := 0; j < ns+m.NumOutputs; j++ {
+				d.Set(row, ov, j)
+			}
+			sc.Off.Add(row)
+		}
+	}
+	return sc, nil
+}
+
+// Minimize runs the espresso loop on the symbolic cover and returns the
+// minimized multi-valued cover.
+func (c *Cover) Minimize() (*cover.Cover, error) {
+	f := &espresso.Function{D: c.D, On: c.On, DC: c.DC, Off: c.Off}
+	return espresso.Minimize(f)
+}
+
+// ConstraintsFrom extracts the group constraints of a minimized symbolic
+// cover: the present-state literal of every implicant, kept when it has at
+// least two and fewer than all states, deduplicated.
+func (c *Cover) ConstraintsFrom(min *cover.Cover) *face.Problem {
+	m := c.M
+	ns := m.NumStates()
+	p := &face.Problem{Name: m.Name, Names: append([]string(nil), m.States...)}
+	ps := c.psVar()
+	for _, cb := range min.Cubes {
+		fc := face.NewConstraint(ns)
+		for s := 0; s < ns; s++ {
+			if c.D.Has(cb, ps, s) {
+				fc.Add(s)
+			}
+		}
+		p.AddConstraint(fc)
+	}
+	return p
+}
+
+// ExtractConstraints is the one-call pipeline: build the symbolic cover of
+// m, minimize it, and return the face-constrained encoding problem along
+// with the minimized symbolic cover cardinality (the lower bound on the
+// encoded implementation the paper's objective chases).
+func ExtractConstraints(m *kiss.FSM) (*face.Problem, int, error) {
+	sc, err := Build(m)
+	if err != nil {
+		return nil, 0, err
+	}
+	min, err := sc.Minimize()
+	if err != nil {
+		return nil, 0, err
+	}
+	return sc.ConstraintsFrom(min), min.Len(), nil
+}

@@ -1,0 +1,162 @@
+package symbolic
+
+import (
+	"testing"
+
+	"picola/internal/cover"
+	"picola/internal/espresso"
+	"picola/internal/kiss"
+)
+
+// twinFSM has two states (b and c) that behave identically under input 1,
+// so symbolic minimization should merge them into one implicant and emit
+// the group constraint {b, c}.
+const twinFSM = `
+.i 1
+.o 1
+0 a b 0
+1 a c 0
+0 b a 1
+1 b a 0
+0 c c 1
+1 c a 0
+`
+
+func TestBuildDimensions(t *testing.T) {
+	m, err := kiss.ParseString(twinFSM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := Build(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 binary input + present state (3 values) + output variable
+	// (3 next-state values + 1 output).
+	if sc.D.NumVars() != 3 {
+		t.Fatalf("vars = %d", sc.D.NumVars())
+	}
+	if sc.D.Size(1) != 3 || sc.D.Size(2) != 4 {
+		t.Fatalf("sizes = %v", sc.D.Sizes())
+	}
+	if sc.On.Len() != 6 {
+		t.Fatalf("ON rows = %d", sc.On.Len())
+	}
+}
+
+func TestMinimizedCoverIsVerified(t *testing.T) {
+	m, err := kiss.ParseString(twinFSM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := Build(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, err := sc.Minimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &espresso.Function{D: sc.D, On: sc.On, DC: sc.DC}
+	if err := espresso.Verify(min, f); err != nil {
+		t.Fatal(err)
+	}
+	if min.Len() >= sc.On.Len() {
+		t.Fatalf("minimization did not shrink the cover: %d -> %d", sc.On.Len(), min.Len())
+	}
+}
+
+func TestExtractConstraintsTwin(t *testing.T) {
+	m, err := kiss.ParseString(twinFSM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, nCubes, err := ExtractConstraints(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nCubes <= 0 {
+		t.Fatal("empty minimized cover")
+	}
+	if p.N() != 3 {
+		t.Fatalf("symbols = %d", p.N())
+	}
+	// Input 1 sends both b and c to a with output 0: states b and c must
+	// group. a is indexed 0, b 1, c 2.
+	found := false
+	for _, c := range p.Constraints {
+		if c.Has(1) && c.Has(2) && !c.Has(0) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected constraint {b,c}, got:\n%s", p)
+	}
+}
+
+func TestExtractConstraintsDropsTrivial(t *testing.T) {
+	m, err := kiss.ParseString(twinFSM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _, err := ExtractConstraints(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range p.Constraints {
+		if c.Count() < 2 || c.Count() >= p.N() {
+			t.Fatalf("trivial constraint leaked: %s", c)
+		}
+	}
+}
+
+func TestUnspecifiedNextState(t *testing.T) {
+	m, err := kiss.ParseString(".i 1\n.o 1\n0 a b 1\n1 a * -\n0 b a 0\n1 b b 1\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := Build(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The '*' transition contributes only DC.
+	if sc.On.Len() != 3 {
+		t.Fatalf("ON rows = %d", sc.On.Len())
+	}
+	if sc.DC.Len() != 1 {
+		t.Fatalf("DC rows = %d", sc.DC.Len())
+	}
+	if _, _, err := ExtractConstraints(m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildPartitionsSpace(t *testing.T) {
+	m, err := kiss.ParseString(twinFSM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := Build(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ON ∪ DC ∪ OFF must be a tautology and ON must not meet OFF.
+	all := cover.Union(cover.Union(sc.On, sc.DC), sc.Off)
+	if !all.Tautology() {
+		t.Fatal("ON ∪ DC ∪ OFF must cover the whole space")
+	}
+	for _, a := range sc.On.Cubes {
+		for _, b := range sc.Off.Cubes {
+			if sc.D.Intersects(a, b) {
+				t.Fatalf("ON meets OFF: %s ∩ %s", sc.D.String(a), sc.D.String(b))
+			}
+		}
+	}
+}
+
+func TestBuildRejectsEmpty(t *testing.T) {
+	m := &kiss.FSM{NumInputs: 1, NumOutputs: 1}
+	if _, err := Build(m); err == nil {
+		t.Fatal("empty machine must be rejected")
+	}
+}

@@ -1,0 +1,213 @@
+package symbolic
+
+import (
+	"fmt"
+
+	"picola/internal/cover"
+	"picola/internal/cube"
+	"picola/internal/espresso"
+	"picola/internal/face"
+)
+
+// Table is a generic symbolic-input specification: each row maps a binary
+// input cube and one symbol to a binary output cube. It is the
+// input-encoding counterpart of the FSM flow — microcode mnemonic fields,
+// opcode classes, and any other single symbolic variable appearing in a
+// two-level specification fit this shape directly.
+type Table struct {
+	Name       string
+	NumInputs  int
+	NumOutputs int
+	Symbols    []string
+	Rows       []TableRow
+
+	index map[string]int
+}
+
+// TableRow is one row of the specification. Input and Output use 0/1/-;
+// '-' in the output marks a don't-care bit.
+type TableRow struct {
+	Input  string
+	Symbol string
+	Output string
+}
+
+// AddRow appends a row, registering the symbol on first use.
+func (t *Table) AddRow(input, symbol, output string) {
+	if t.index == nil {
+		t.index = make(map[string]int)
+	}
+	if _, ok := t.index[symbol]; !ok {
+		t.index[symbol] = len(t.Symbols)
+		t.Symbols = append(t.Symbols, symbol)
+	}
+	t.Rows = append(t.Rows, TableRow{Input: input, Symbol: symbol, Output: output})
+}
+
+// SymbolIndex returns the index of a symbol, or -1.
+func (t *Table) SymbolIndex(s string) int {
+	if t.index == nil {
+		t.index = make(map[string]int)
+		for i, sym := range t.Symbols {
+			t.index[sym] = i
+		}
+	}
+	if i, ok := t.index[s]; ok {
+		return i
+	}
+	return -1
+}
+
+// Validate checks field widths and characters.
+func (t *Table) Validate() error {
+	for i, r := range t.Rows {
+		if len(r.Input) != t.NumInputs {
+			return fmt.Errorf("symbolic: row %d: input width %d, want %d", i, len(r.Input), t.NumInputs)
+		}
+		if len(r.Output) != t.NumOutputs {
+			return fmt.Errorf("symbolic: row %d: output width %d, want %d", i, len(r.Output), t.NumOutputs)
+		}
+		for _, c := range r.Input + r.Output {
+			if c != '0' && c != '1' && c != '-' {
+				return fmt.Errorf("symbolic: row %d: bad character %q", i, c)
+			}
+		}
+		if t.SymbolIndex(r.Symbol) < 0 {
+			return fmt.Errorf("symbolic: row %d: unregistered symbol %q", i, r.Symbol)
+		}
+	}
+	return nil
+}
+
+// BuildCover constructs the multi-valued cover of the table: binary
+// inputs, one MV symbol variable, one output variable. Unspecified
+// (input, symbol) points are OFF, exactly as in the FSM flow.
+func (t *Table) BuildCover() (*cube.Domain, *cover.Cover, *cover.Cover, *cover.Cover, error) {
+	if err := t.Validate(); err != nil {
+		return nil, nil, nil, nil, err
+	}
+	ns := len(t.Symbols)
+	if ns == 0 {
+		return nil, nil, nil, nil, fmt.Errorf("symbolic: table has no symbols")
+	}
+	sizes := make([]int, 0, t.NumInputs+2)
+	for i := 0; i < t.NumInputs; i++ {
+		sizes = append(sizes, 2)
+	}
+	sizes = append(sizes, ns, max(t.NumOutputs, 1))
+	d := cube.New(sizes...)
+	on, dc, off := cover.New(d), cover.New(d), cover.New(d)
+	sv := t.NumInputs
+	ov := sv + 1
+	bin := cube.Binary(t.NumInputs)
+	rowsOf := make(map[string]*cover.Cover)
+	for _, r := range t.Rows {
+		base := d.NewCube()
+		inCube := bin.Universe()
+		for v := 0; v < t.NumInputs; v++ {
+			switch r.Input[v] {
+			case '0':
+				d.Set(base, v, 0)
+				bin.SetBinLit(inCube, v, cube.LitZero)
+			case '1':
+				d.Set(base, v, 1)
+				bin.SetBinLit(inCube, v, cube.LitOne)
+			default:
+				d.Set(base, v, 0)
+				d.Set(base, v, 1)
+			}
+		}
+		d.Set(base, sv, t.SymbolIndex(r.Symbol))
+		if rowsOf[r.Symbol] == nil {
+			rowsOf[r.Symbol] = cover.New(bin)
+		}
+		rowsOf[r.Symbol].Add(inCube)
+		onC, dcC, offC := base.Clone(), base.Clone(), base.Clone()
+		var hasOn, hasDC, hasOff bool
+		for j := 0; j < t.NumOutputs; j++ {
+			switch r.Output[j] {
+			case '1':
+				d.Set(onC, ov, j)
+				hasOn = true
+			case '-':
+				d.Set(dcC, ov, j)
+				hasDC = true
+			default:
+				d.Set(offC, ov, j)
+				hasOff = true
+			}
+		}
+		if hasOn {
+			on.Add(onC)
+		}
+		if hasDC {
+			dc.Add(dcC)
+		}
+		if hasOff {
+			off.Add(offC)
+		}
+	}
+	for _, sym := range t.Symbols {
+		var uncovered *cover.Cover
+		if rc := rowsOf[sym]; rc != nil {
+			uncovered = rc.Complement()
+		} else {
+			uncovered = cover.New(bin)
+			uncovered.Add(bin.Universe())
+		}
+		for _, u := range uncovered.Cubes {
+			row := d.NewCube()
+			for v := 0; v < t.NumInputs; v++ {
+				switch bin.BinLit(u, v) {
+				case cube.LitZero:
+					d.Set(row, v, 0)
+				case cube.LitOne:
+					d.Set(row, v, 1)
+				default:
+					d.Set(row, v, 0)
+					d.Set(row, v, 1)
+				}
+			}
+			d.Set(row, sv, t.SymbolIndex(sym))
+			for j := 0; j < max(t.NumOutputs, 1); j++ {
+				d.Set(row, ov, j)
+			}
+			off.Add(row)
+		}
+	}
+	return d, on, dc, off, nil
+}
+
+// Constraints runs multi-valued minimization on the table's cover and
+// extracts the face constraints of its symbolic variable, plus the
+// minimized implicant count.
+func (t *Table) Constraints() (*face.Problem, int, error) {
+	d, on, dc, off, err := t.BuildCover()
+	if err != nil {
+		return nil, 0, err
+	}
+	min, err := espresso.Minimize(&espresso.Function{D: d, On: on, DC: dc, Off: off})
+	if err != nil {
+		return nil, 0, err
+	}
+	ns := len(t.Symbols)
+	p := &face.Problem{Name: t.Name, Names: append([]string(nil), t.Symbols...)}
+	sv := t.NumInputs
+	for _, cb := range min.Cubes {
+		fc := face.NewConstraint(ns)
+		for s := 0; s < ns; s++ {
+			if d.Has(cb, sv, s) {
+				fc.Add(s)
+			}
+		}
+		p.AddConstraint(fc)
+	}
+	return p, min.Len(), nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,113 @@
+package symbolic
+
+import (
+	"testing"
+
+	"picola/internal/cover"
+	"picola/internal/espresso"
+)
+
+func decoderTable() *Table {
+	t := &Table{Name: "decoder", NumInputs: 2, NumOutputs: 4}
+	// ALU class shares the idle control word on input 0-.
+	t.AddRow("0-", "ADD", "1000")
+	t.AddRow("1-", "ADD", "1010")
+	t.AddRow("0-", "SUB", "1000")
+	t.AddRow("1-", "SUB", "1011")
+	// Memory class.
+	t.AddRow("0-", "LD", "0100")
+	t.AddRow("1-", "LD", "0110")
+	t.AddRow("0-", "ST", "0100")
+	t.AddRow("1-", "ST", "0111")
+	t.AddRow("--", "NOP", "0000")
+	return t
+}
+
+func TestTableValidate(t *testing.T) {
+	tab := decoderTable()
+	if err := tab.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := &Table{NumInputs: 2, NumOutputs: 1}
+	bad.AddRow("0", "X", "1")
+	if bad.Validate() == nil {
+		t.Fatal("short input must be rejected")
+	}
+	bad2 := &Table{NumInputs: 1, NumOutputs: 1}
+	bad2.AddRow("x", "X", "1")
+	if bad2.Validate() == nil {
+		t.Fatal("bad character must be rejected")
+	}
+}
+
+func TestTableSymbols(t *testing.T) {
+	tab := decoderTable()
+	if len(tab.Symbols) != 5 {
+		t.Fatalf("symbols = %v", tab.Symbols)
+	}
+	if tab.SymbolIndex("LD") != 2 || tab.SymbolIndex("nope") != -1 {
+		t.Fatal("SymbolIndex wrong")
+	}
+}
+
+func TestTableCoverPartition(t *testing.T) {
+	tab := decoderTable()
+	d, on, dc, off, err := tab.BuildCover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := cover.Union(cover.Union(on, dc), off)
+	if !all.Tautology() {
+		t.Fatal("ON ∪ DC ∪ OFF must cover the space")
+	}
+	min, err := espresso.Minimize(&espresso.Function{D: d, On: on, DC: dc, Off: off})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := espresso.Verify(min, &espresso.Function{D: d, On: on, DC: dc, Off: off}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableConstraintsGroupClasses(t *testing.T) {
+	tab := decoderTable()
+	p, implicants, err := tab.Constraints()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if implicants <= 0 {
+		t.Fatal("no implicants")
+	}
+	// The ALU pair and the memory pair share idle rows, so {ADD,SUB} and
+	// {LD,ST} must appear as (subsets of) extracted constraints.
+	hasALU, hasMem := false, false
+	add, sub := tab.SymbolIndex("ADD"), tab.SymbolIndex("SUB")
+	ld, st := tab.SymbolIndex("LD"), tab.SymbolIndex("ST")
+	for _, c := range p.Constraints {
+		if c.Has(add) && c.Has(sub) && !c.Has(ld) && !c.Has(st) {
+			hasALU = true
+		}
+		if c.Has(ld) && c.Has(st) && !c.Has(add) && !c.Has(sub) {
+			hasMem = true
+		}
+	}
+	if !hasALU || !hasMem {
+		t.Fatalf("expected class constraints; got:\n%s", p)
+	}
+}
+
+func TestTableNoOutputs(t *testing.T) {
+	tab := &Table{NumInputs: 1, NumOutputs: 0}
+	tab.AddRow("0", "A", "")
+	tab.AddRow("1", "B", "")
+	if _, _, err := tab.Constraints(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableEmptyRejected(t *testing.T) {
+	tab := &Table{NumInputs: 1, NumOutputs: 1}
+	if _, _, _, _, err := tab.BuildCover(); err == nil {
+		t.Fatal("empty table must be rejected")
+	}
+}
