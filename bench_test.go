@@ -18,6 +18,7 @@
 package picola
 
 import (
+	"io"
 	"testing"
 
 	"picola/internal/baseline/enc"
@@ -27,6 +28,7 @@ import (
 	"picola/internal/espresso"
 	"picola/internal/eval"
 	"picola/internal/face"
+	"picola/internal/obs"
 	"picola/internal/power"
 	"picola/internal/stassign"
 	"picola/internal/symbolic"
@@ -258,6 +260,30 @@ func BenchmarkAblation(b *testing.B) {
 			reportCubes(b, p, last)
 		})
 	}
+}
+
+// BenchmarkObsOverhead compares an untraced encode (nil Tracer: the
+// instrumentation collapses to nil checks and atomic adds) against the
+// same encode streaming JSONL to io.Discard. The untraced/<name> numbers
+// should be indistinguishable from the pre-instrumentation baseline, and
+// are the acceptance check that observability is free when off.
+func BenchmarkObsOverhead(b *testing.B) {
+	p := problemFor(b, "keyb")
+	b.Run("untraced", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Encode(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("traced-discard", func(b *testing.B) {
+		tr := obs.NewJSONL(io.Discard)
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Encode(p, core.Options{Trace: tr}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkEspresso measures the two-level minimizer substrate on the

@@ -13,12 +13,20 @@
 // optional code-length override, and whether to print the per-constraint
 // cube evaluation. "optimal" is the exhaustive reference (≤ 8 symbols);
 // "all" grows the length until every constraint is satisfied.
+//
+// Observability: -trace FILE streams structured JSONL span/event records
+// for every pipeline stage (restart, column, classify, guide, polish),
+// -metrics FILE writes the metrics-registry snapshot at exit, -cpuprofile
+// and -memprofile write pprof profiles, and -v prints a per-stage
+// wall-clock summary to stderr.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 
 	"picola/internal/baseline/enc"
 	"picola/internal/baseline/nova"
@@ -26,15 +34,84 @@ import (
 	"picola/internal/core"
 	"picola/internal/eval"
 	"picola/internal/face"
+	"picola/internal/obs"
 	"picola/internal/optenc"
 )
 
+// run dispatches one encoder run; keyed by the -algo flag value.
+var algorithms = map[string]func(p *face.Problem, nv int, seed int64, tr obs.Tracer) (*face.Encoding, error){
+	"picola": func(p *face.Problem, nv int, seed int64, tr obs.Tracer) (*face.Encoding, error) {
+		r, err := core.Encode(p, core.Options{NV: nv, Trace: tr})
+		if err != nil {
+			return nil, err
+		}
+		return r.Encoding, nil
+	},
+	"nova": func(p *face.Problem, nv int, seed int64, tr obs.Tracer) (*face.Encoding, error) {
+		return nova.Encode(p, nova.Options{Seed: seed, NV: nv})
+	},
+	"enc": func(p *face.Problem, nv int, seed int64, tr obs.Tracer) (*face.Encoding, error) {
+		r, err := enc.Encode(p, enc.Options{Seed: seed, NV: nv})
+		if err != nil {
+			return nil, err
+		}
+		if !r.Completed {
+			fmt.Fprintln(os.Stderr, "picola: warning: enc search ran out of budget")
+		}
+		return r.Encoding, nil
+	},
+	"optimal": func(p *face.Problem, nv int, seed int64, tr obs.Tracer) (*face.Encoding, error) {
+		r, err := optenc.Optimal(p)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "picola: exhaustive optimum over %d encodings: %d cubes\n",
+			r.Evaluated, r.Cubes)
+		return r.Encoding, nil
+	},
+	"all": func(p *face.Problem, nv int, seed int64, tr obs.Tracer) (*face.Encoding, error) {
+		r, err := core.EncodeAll(p, core.Options{Trace: tr})
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "picola: full satisfaction at %d bits (minimum %d)\n",
+			r.Encoding.NV, p.MinLength())
+		return r.Encoding, nil
+	},
+}
+
+func validAlgos() string {
+	names := make([]string, 0, len(algorithms))
+	for name := range algorithms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
 func main() {
-	algo := flag.String("algo", "picola", "encoder: picola, nova, enc, optimal or all")
+	algo := flag.String("algo", "picola", "encoder: "+validAlgos())
 	nv := flag.Int("nv", 0, "code length override (0 = minimum)")
 	seed := flag.Int64("seed", 1, "seed for the randomized encoders")
 	evaluate := flag.Bool("eval", true, "print the per-constraint cube evaluation")
+	verbose := flag.Bool("v", false, "print a per-stage wall-clock summary to stderr")
+	var oc obs.Config
+	oc.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+
+	// Validate -algo before touching the input so a typo fails fast with
+	// the valid set instead of falling through mid-run.
+	run, ok := algorithms[*algo]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "picola: unknown -algo %q (valid: %s)\n", *algo, validAlgos())
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	session, err := oc.Start()
+	if err != nil {
+		fatal(err)
+	}
 
 	in := os.Stdin
 	if flag.NArg() > 0 {
@@ -49,46 +126,9 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	var e *face.Encoding
-	switch *algo {
-	case "picola":
-		r, err := core.Encode(p, core.Options{NV: *nv})
-		if err != nil {
-			fatal(err)
-		}
-		e = r.Encoding
-	case "nova":
-		e, err = nova.Encode(p, nova.Options{Seed: *seed, NV: *nv})
-		if err != nil {
-			fatal(err)
-		}
-	case "enc":
-		r, err := enc.Encode(p, enc.Options{Seed: *seed, NV: *nv})
-		if err != nil {
-			fatal(err)
-		}
-		if !r.Completed {
-			fmt.Fprintln(os.Stderr, "picola: warning: enc search ran out of budget")
-		}
-		e = r.Encoding
-	case "optimal":
-		r, err := optenc.Optimal(p)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Fprintf(os.Stderr, "picola: exhaustive optimum over %d encodings: %d cubes\n",
-			r.Evaluated, r.Cubes)
-		e = r.Encoding
-	case "all":
-		r, err := core.EncodeAll(p)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Fprintf(os.Stderr, "picola: full satisfaction at %d bits (minimum %d)\n",
-			r.Encoding.NV, p.MinLength())
-		e = r.Encoding
-	default:
-		fatal(fmt.Errorf("unknown algorithm %q", *algo))
+	e, err := run(p, *nv, *seed, session.Tracer)
+	if err != nil {
+		fatal(err)
 	}
 	for s := 0; s < p.N(); s++ {
 		fmt.Printf("%-12s %s\n", p.Names[s], e.CodeString(s))
@@ -107,6 +147,12 @@ func main() {
 			}
 			fmt.Printf("  %s  cubes=%d  %s\n", p.Constraints[i], k, status)
 		}
+	}
+	if *verbose {
+		obs.StageSummary(os.Stderr, obs.Default)
+	}
+	if err := session.Close(); err != nil {
+		fatal(err)
 	}
 }
 

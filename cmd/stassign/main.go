@@ -6,6 +6,11 @@
 //	stassign -encoder nova-ih -bench keyb
 //	stassign -pla out.pla machine.kiss also write the minimized PLA
 //	stassign -compare machine.kiss     compare all encoders
+//
+// Observability: -trace FILE streams the PICOLA encoder's structured
+// JSONL events, -metrics FILE writes the metrics snapshot at exit,
+// -cpuprofile/-memprofile write pprof profiles, and -v prints a per-stage
+// wall-clock summary to stderr.
 package main
 
 import (
@@ -16,6 +21,7 @@ import (
 	"picola/internal/benchgen"
 	"picola/internal/blif"
 	"picola/internal/kiss"
+	"picola/internal/obs"
 	"picola/internal/pla"
 	"picola/internal/stassign"
 	"picola/internal/statemin"
@@ -38,7 +44,23 @@ func main() {
 	compare := flag.Bool("compare", false, "run every encoder and compare")
 	reduce := flag.Bool("reduce", false, "merge compatible states before assignment")
 	seed := flag.Int64("seed", 1, "seed for the randomized encoders")
+	verbose := flag.Bool("v", false, "print a per-stage wall-clock summary to stderr")
+	var oc obs.Config
+	oc.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+
+	session, err := oc.Start()
+	if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if *verbose {
+			obs.StageSummary(os.Stderr, obs.Default)
+		}
+		if err := session.Close(); err != nil {
+			fatal(err)
+		}
+	}()
 
 	m, err := loadMachine(*bench, flag.Args())
 	if err != nil {
@@ -70,7 +92,7 @@ func main() {
 	if !ok {
 		fatal(fmt.Errorf("unknown encoder %q", *encName))
 	}
-	rep, err := stassign.Assign(m, stassign.Options{Encoder: encoder, Seed: *seed})
+	rep, err := stassign.Assign(m, stassign.Options{Encoder: encoder, Seed: *seed, Trace: session.Tracer})
 	if err != nil {
 		fatal(err)
 	}

@@ -9,9 +9,16 @@
 // Rows print in the paper's order; totals and win/loss summaries follow.
 // Absolute values differ from the paper's (the suite is synthetic; see
 // DESIGN.md §4) — the comparisons are the reproduction target.
+//
+// -json FILE additionally writes a machine-readable snapshot of the run
+// (per-benchmark cube counts / product terms and encode wall time, tables
+// 1 and 2) so BENCH_*.json trajectory files can be populated.
+// Observability: -trace, -metrics, -cpuprofile, -memprofile and -v as in
+// cmd/picola.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +30,7 @@ import (
 	"picola/internal/benchgen"
 	"picola/internal/core"
 	"picola/internal/eval"
+	"picola/internal/obs"
 	"picola/internal/power"
 	"picola/internal/report"
 	"picola/internal/stassign"
@@ -36,6 +44,10 @@ func main() {
 	encBudget := flag.Int("encbudget", 40000, "ENC espresso-evaluation budget (table 1)")
 	workers := flag.Int("workers", 1, "benchmarks evaluated concurrently (timing columns are only meaningful at 1)")
 	formatName := flag.String("format", "text", "output format: text, md or csv")
+	jsonOut := flag.String("json", "", "write a machine-readable benchmark snapshot to `FILE` (tables 1 and 2)")
+	verbose := flag.Bool("v", false, "print a per-stage wall-clock summary to stderr")
+	var oc obs.Config
+	oc.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	var ferr error
 	outFormat, ferr = report.ParseFormat(*formatName)
@@ -47,12 +59,19 @@ func main() {
 	if maxWorkers < 1 {
 		maxWorkers = 1
 	}
+	session, serr := oc.Start()
+	if serr != nil {
+		fmt.Fprintln(os.Stderr, "tables:", serr)
+		os.Exit(1)
+	}
+	tracer = session.Tracer
 	var err error
+	var snap *benchSnapshot
 	switch *table {
 	case 1:
-		err = table1(*only, *seed, *encBudget)
+		snap, err = table1(*only, *seed, *encBudget)
 	case 2:
-		err = table2(*only, *seed)
+		snap, err = table2(*only, *seed)
 	case 3:
 		err = table3(*only)
 	case 4:
@@ -60,10 +79,66 @@ func main() {
 	default:
 		err = fmt.Errorf("unknown table %d", *table)
 	}
+	if err == nil && *jsonOut != "" {
+		if snap == nil {
+			err = fmt.Errorf("-json supports tables 1 and 2 only")
+		} else {
+			err = writeSnapshot(*jsonOut, snap)
+		}
+	}
+	if *verbose {
+		obs.StageSummary(os.Stderr, obs.Default)
+	}
+	if cerr := session.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tables:", err)
 		os.Exit(1)
 	}
+}
+
+// tracer is the -trace sink (nil when untraced); threaded into the PICOLA
+// encoder runs.
+var tracer obs.Tracer
+
+// benchSnapshot is the -json output: a machine-readable record of one
+// table run, the unit the BENCH_*.json trajectory files accumulate.
+type benchSnapshot struct {
+	Schema string     `json:"schema"` // "picola-bench/v1"
+	Table  int        `json:"table"`
+	Rows   []benchRow `json:"rows"`
+}
+
+// benchRow is one benchmark's results across the table's encoders.
+type benchRow struct {
+	FSM         string               `json:"fsm"`
+	Constraints int                  `json:"constraints,omitempty"`
+	States      int                  `json:"states,omitempty"`
+	Encoders    map[string]benchStat `json:"encoders"`
+}
+
+// benchStat is one encoder's measurement on one benchmark. Cubes is the
+// Table I constraint-implementation metric; Products the Table II encoded
+// two-level size; WallNS the encode wall time.
+type benchStat struct {
+	Cubes     int   `json:"cubes,omitempty"`
+	Products  int   `json:"products,omitempty"`
+	WallNS    int64 `json:"wall_ns"`
+	Completed *bool `json:"completed,omitempty"`
+}
+
+func writeSnapshot(path string, snap *benchSnapshot) error {
+	b, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(b)
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
 }
 
 type table1Row struct {
@@ -105,7 +180,7 @@ func table1Compute(spec benchgen.Spec, seed int64, encBudget int) (*table1Row, e
 	row.encCompleted = encRes.Completed
 
 	t0 = time.Now()
-	picRes, err := core.Encode(prob)
+	picRes, err := core.Encode(prob, core.Options{Trace: tracer})
 	if err != nil {
 		return nil, fmt.Errorf("%s picola: %w", spec.Name, err)
 	}
@@ -118,7 +193,7 @@ func table1Compute(spec benchgen.Spec, seed int64, encBudget int) (*table1Row, e
 	return row, nil
 }
 
-func table1(only string, seed int64, encBudget int) error {
+func table1(only string, seed int64, encBudget int) (*benchSnapshot, error) {
 	tab := &report.Table{
 		Title:  "Table I — cubes to implement the group constraints at minimum code length",
 		Header: []string{"FSM", "const", "NOVA", "ENC", "PICOLA", "t_nova", "t_enc", "t_picola"},
@@ -133,12 +208,23 @@ func table1(only string, seed int64, encBudget int) error {
 		return table1Compute(spec, seed, encBudget)
 	})
 	if err != nil {
-		return err
+		return nil, err
 	}
+	snap := &benchSnapshot{Schema: "picola-bench/v1", Table: 1}
 	var totNova, totEnc, totPic int
 	var winsPic, winsNova, encFails int
 	encComparable := true
 	for _, row := range rows {
+		completed := row.encCompleted
+		snap.Rows = append(snap.Rows, benchRow{
+			FSM:         row.name,
+			Constraints: row.constraints,
+			Encoders: map[string]benchStat{
+				"nova":   {Cubes: row.novaCubes, WallNS: int64(row.tNova)},
+				"enc":    {Cubes: row.encCubes, WallNS: int64(row.tEnc), Completed: &completed},
+				"picola": {Cubes: row.picCubes, WallNS: int64(row.tPic)},
+			},
+		})
 		encCol := fmt.Sprintf("%d", row.encCubes)
 		if !row.encCompleted {
 			encCol = "fails"
@@ -169,14 +255,15 @@ func table1(only string, seed int64, encBudget int) error {
 	}
 	tab.Footer = append(tab.Footer, fmt.Sprintf(
 		"PICOLA better on %d, NOVA better on %d, ties on the rest", winsPic, winsNova))
-	return tab.Render(os.Stdout, outFormat)
+	return snap, tab.Render(os.Stdout, outFormat)
 }
 
-func table2(only string, seed int64) error {
+func table2(only string, seed int64) (*benchSnapshot, error) {
 	tab := &report.Table{
 		Title:  "Table II — state assignment: two-level size and time, normalized to NOVA-ih",
 		Header: []string{"FSM", "ih", "t", "ioh", "t", "NEW", "t"},
 	}
+	snap := &benchSnapshot{Schema: "picola-bench/v1", Table: 2}
 	var totIH, totIOH, totNew int
 	for _, spec := range benchgen.Table2Specs() {
 		if only != "" && spec.Name != only {
@@ -185,21 +272,30 @@ func table2(only string, seed int64) error {
 		m := benchgen.Generate(spec)
 		ih, err := stassign.Assign(m, stassign.Options{Encoder: stassign.NovaIH, Seed: seed})
 		if err != nil {
-			return fmt.Errorf("%s ih: %w", spec.Name, err)
+			return nil, fmt.Errorf("%s ih: %w", spec.Name, err)
 		}
 		ioh, err := stassign.Assign(m, stassign.Options{Encoder: stassign.NovaIOH, Seed: seed})
 		if err != nil {
-			return fmt.Errorf("%s ioh: %w", spec.Name, err)
+			return nil, fmt.Errorf("%s ioh: %w", spec.Name, err)
 		}
-		neu, err := stassign.Assign(m, stassign.Options{Encoder: stassign.Picola, Seed: seed})
+		neu, err := stassign.Assign(m, stassign.Options{Encoder: stassign.Picola, Seed: seed, Trace: tracer})
 		if err != nil {
-			return fmt.Errorf("%s new: %w", spec.Name, err)
+			return nil, fmt.Errorf("%s new: %w", spec.Name, err)
 		}
 		base := ih.TotalTime
 		tab.Add(spec.Name,
 			fmt.Sprint(ih.Products), "1.00",
 			fmt.Sprint(ioh.Products), fmt.Sprintf("%.2f", timeRatio(ioh.TotalTime, base)),
 			fmt.Sprint(neu.Products), fmt.Sprintf("%.2f", timeRatio(neu.TotalTime, base)))
+		snap.Rows = append(snap.Rows, benchRow{
+			FSM:    spec.Name,
+			States: m.NumStates(),
+			Encoders: map[string]benchStat{
+				"nova-ih":  {Products: ih.Products, WallNS: int64(ih.TotalTime)},
+				"nova-ioh": {Products: ioh.Products, WallNS: int64(ioh.TotalTime)},
+				"picola":   {Products: neu.Products, WallNS: int64(neu.TotalTime)},
+			},
+		})
 		totIH += ih.Products
 		totIOH += ioh.Products
 		totNew += neu.Products
@@ -207,7 +303,7 @@ func table2(only string, seed int64) error {
 	tab.Footer = append(tab.Footer,
 		fmt.Sprintf("Total products: NOVA-ih=%d NOVA-ioh=%d NEW=%d", totIH, totIOH, totNew),
 		fmt.Sprintf("Size ratios vs NEW: ih=%.3f ioh=%.3f", ratio(totIH, totNew), ratio(totIOH, totNew)))
-	return tab.Render(os.Stdout, outFormat)
+	return snap, tab.Render(os.Stdout, outFormat)
 }
 
 func timeRatio(a, b time.Duration) float64 {

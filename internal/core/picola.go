@@ -19,11 +19,27 @@ package core
 import (
 	"fmt"
 	"math/bits"
+	"time"
 
 	"picola/internal/cover"
 	"picola/internal/cube"
 	"picola/internal/eval"
 	"picola/internal/face"
+	"picola/internal/obs"
+)
+
+// Hot-path metrics (atomic; pointers cached so no lookup on the hot path).
+var (
+	mEncodes     = obs.Default.Counter("core.encodes")
+	mColumns     = obs.Default.Counter("core.columns")
+	mColumnScans = obs.Default.Counter("core.dichotomy_scans")
+	mInfeasible  = obs.Default.Counter("core.classify.infeasible")
+	mGuides      = obs.Default.Counter("core.guides")
+	mEstimates   = obs.Default.Counter("core.estimates")
+	tPortfolio   = obs.Default.Timer("core.stage.portfolio")
+	tPolish      = obs.Default.Timer("core.stage.polish")
+	tExactPolish = obs.Default.Timer("core.stage.exact_polish")
+	tFinalize    = obs.Default.Timer("core.stage.finalize")
 )
 
 // Kind distinguishes original face constraints from guide-constraints.
@@ -66,6 +82,10 @@ type Options struct {
 	// weight and start-column perturbations); the best by cube estimate is
 	// kept. 0 means the default 4, 1 disables the portfolio.
 	Restarts int
+	// Trace receives structured span/event records for every pipeline
+	// stage (restart, column, classify, guide, polish, exact-polish). Nil
+	// means tracing is off and costs nothing.
+	Trace obs.Tracer
 }
 
 func (o Options) withDefaults() Options {
@@ -158,6 +178,12 @@ type encoder struct {
 	// Per-solve caches: the marks only change in apply, so each row's
 	// unsatisfied-outsider list is invariant while one column is built.
 	unsat [][]int
+
+	tr      obs.Tracer // nil when untraced
+	variant int        // portfolio variant index, for trace records
+	// Solve diagnostics of the last generated column.
+	lastMoves int
+	lastCost  float64
 }
 
 // Encode runs PICOLA on the problem and returns the minimum-length
@@ -187,12 +213,14 @@ func Encode(p *face.Problem, opts ...Options) (*Result, error) {
 	if nv > 64 {
 		return nil, fmt.Errorf("core: code length %d exceeds 64", nv)
 	}
+	mEncodes.Inc()
 	// Small problems afford exact scoring of the portfolio variants (the
 	// evaluator is a fast Quine–McCluskey at minimum lengths); larger ones
 	// use the espresso-free estimate.
 	exactSelect := n <= 40 && nv <= 7 && o.ExactPolishBudget > 0
 	var best *encoder
-	bestScore := 0
+	bestScore, bestVariant := 0, 0
+	stopPortfolio := tPortfolio.Start()
 	for v := 0; v < o.Restarts; v++ {
 		vo := o
 		switch v {
@@ -201,7 +229,8 @@ func Encode(p *face.Problem, opts ...Options) (*Result, error) {
 		case 2:
 			vo.GuideWeight = o.GuideWeight / 2
 		}
-		e := encodeOnce(p, vo, nv, v == 3)
+		t0 := time.Now()
+		e := encodeOnce(p, vo, nv, v == 3, v)
 		score := 0
 		if exactSelect {
 			for i, c := range p.Constraints {
@@ -216,10 +245,29 @@ func Encode(p *face.Problem, opts ...Options) (*Result, error) {
 			for i := range p.Constraints {
 				score += p.Weight(i) * cm.estimate(i)
 			}
+			cm.flush()
+		}
+		if o.Trace != nil {
+			o.Trace.Emit(obs.Event{Kind: obs.KindSpan, Stage: "restart",
+				DurMS: obs.MS(time.Since(t0)),
+				Attrs: map[string]float64{
+					"variant":      float64(v),
+					"guide_weight": vo.GuideWeight,
+					"start_zero":   boolAttr(v == 3),
+					"score":        float64(score),
+				}})
 		}
 		if best == nil || score < bestScore {
-			best, bestScore = e, score
+			best, bestScore, bestVariant = e, score, v
 		}
+	}
+	stopPortfolio()
+	if o.Trace != nil {
+		o.Trace.Emit(obs.Event{Kind: obs.KindEvent, Stage: "select", Name: "winner",
+			Attrs: map[string]float64{
+				"variant": float64(bestVariant),
+				"score":   float64(bestScore),
+			}})
 	}
 	// Only the winning variant gets the full refinement.
 	if !o.DisablePolish && n <= o.PolishMaxSymbols {
@@ -230,27 +278,54 @@ func Encode(p *face.Problem, opts ...Options) (*Result, error) {
 			return nil, err
 		}
 	}
+	stopFinalize := tFinalize.Start()
 	best.reclassifyFromScratch()
 	best.finalClassify()
-	return best.result(), nil
+	r := best.result()
+	stopFinalize()
+	return r, nil
+}
+
+func boolAttr(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // encodeOnce runs one column-generation pass (plus a light estimate-based
 // polish) under the given variant options.
-func encodeOnce(p *face.Problem, o Options, nv int, startZero bool) *encoder {
+func encodeOnce(p *face.Problem, o Options, nv int, startZero bool, variant int) *encoder {
 	n := p.N()
 	e := &encoder{p: p, opts: o, n: n, nv: nv,
-		enc: face.NewEncoding(n, nv), startZero: startZero}
+		enc: face.NewEncoding(n, nv), startZero: startZero, tr: o.Trace,
+		variant: variant}
 	for i, c := range p.Constraints {
 		e.rows = append(e.rows, newTracked(c, Original, 0, -1, float64(p.Weight(i))))
 	}
 	e.nOri = len(e.rows)
 	for j := 0; j < e.nv; j++ {
+		var t0 time.Time
+		if e.tr != nil {
+			t0 = time.Now()
+		}
 		if !o.DisableClassify {
 			e.updateConstraints(j)
 		}
 		col := e.solve(j)
 		e.apply(col, j)
+		mColumns.Inc()
+		if e.tr != nil {
+			e.tr.Emit(obs.Event{Kind: obs.KindSpan, Stage: "column",
+				DurMS: obs.MS(time.Since(t0)),
+				Attrs: map[string]float64{
+					"variant": float64(e.variant),
+					"col":     float64(j),
+					"ones":    float64(col.Count()),
+					"moves":   float64(e.lastMoves),
+					"cost":    e.lastCost,
+				}})
+		}
 	}
 	if !o.DisablePolish && n <= o.PolishMaxSymbols {
 		e.polish(4)
@@ -267,6 +342,8 @@ func encodeOnce(p *face.Problem, o Options, nv int, startZero bool) *encoder {
 // member codes, same non-member code multiset) — only the touched
 // memberships are re-minimized. The evaluation budget bounds the pass.
 func (e *encoder) exactPolish(budget int) error {
+	defer tExactPolish.Start()()
+	t0 := time.Now()
 	n := e.n
 	r := len(e.p.Constraints)
 	if r == 0 {
@@ -298,6 +375,7 @@ func (e *encoder) exactPolish(budget int) error {
 			ps.spares = append(ps.spares, uint64(code))
 		}
 	}
+	before := ps.total()
 	if err := ps.descend(); err != nil {
 		return err
 	}
@@ -318,6 +396,17 @@ func (e *encoder) exactPolish(budget int) error {
 		}
 	}
 	copy(e.enc.Codes, bestCodes)
+	if e.tr != nil {
+		e.tr.Emit(obs.Event{Kind: obs.KindSpan, Stage: "exact-polish",
+			DurMS: obs.MS(time.Since(t0)),
+			Attrs: map[string]float64{
+				"evals":  float64(ps.evals),
+				"budget": float64(budget),
+				"before": float64(before),
+				"after":  float64(bestTotal),
+				"delta":  float64(bestTotal - before),
+			}})
+	}
 	return nil
 }
 
@@ -477,7 +566,9 @@ func (ps *polishState) kick() error {
 // disagreeing code column chosen to isolate intruders, and sum the halves.
 func estimateCubes(enc *face.Encoding, c face.Constraint) int {
 	cm := newCostModel(enc, []face.Constraint{c})
-	return cm.estimate(0)
+	k := cm.estimate(0)
+	cm.flush()
+	return k
 }
 
 // costModel evaluates the cube estimate without allocation: per-constraint
@@ -491,6 +582,16 @@ type costModel struct {
 	nonmem  [][]int
 	mbuf    []uint64 // member codes scratch
 	ibuf    []uint64 // intruder-candidate codes scratch
+	evals   int      // estimates since the last flush (kept local: the
+	// hot loops would pay for a per-call atomic)
+}
+
+// flush folds the local estimate count into the metrics registry.
+func (cm *costModel) flush() {
+	if cm.evals > 0 {
+		mEstimates.Add(int64(cm.evals))
+		cm.evals = 0
+	}
 }
 
 func newCostModel(enc *face.Encoding, cons []face.Constraint) *costModel {
@@ -517,6 +618,7 @@ func newCostModel(enc *face.Encoding, cons []face.Constraint) *costModel {
 // estimate returns the cube estimate of constraint i under the current
 // codes.
 func (cm *costModel) estimate(i int) int {
+	cm.evals++
 	members := cm.members[i]
 	if len(members) == 0 {
 		return 0
@@ -657,12 +759,26 @@ func partition(xs []uint64, bit uint64) int {
 // constraints having one of them as a member — the evaluation is
 // incremental and never calls espresso.
 func (e *encoder) polish(maxPasses int) {
+	defer tPolish.Start()()
+	t0 := time.Now()
 	n := e.n
 	r := len(e.p.Constraints)
 	cm := newCostModel(e.enc, e.p.Constraints)
+	defer cm.flush()
 	est := make([]int, r)
 	for i := range e.p.Constraints {
 		est[i] = cm.estimate(i)
+	}
+	weightedEst := func() int {
+		t := 0
+		for i, k := range est {
+			t += e.p.Weight(i) * k
+		}
+		return t
+	}
+	before := 0
+	if e.tr != nil {
+		before = weightedEst()
 	}
 	// memberOf[s] lists the constraints having s as a member.
 	memberOf := make([][]int, n)
@@ -715,7 +831,9 @@ func (e *encoder) polish(maxPasses int) {
 		}
 		return out
 	}
+	passes := 0
 	for pass := 0; pass < maxPasses; pass++ {
+		passes++
 		improved := false
 		for a := 0; a < n; a++ {
 			for b := a + 1; b < n; b++ {
@@ -775,6 +893,18 @@ func (e *encoder) polish(maxPasses int) {
 			break
 		}
 	}
+	if e.tr != nil {
+		after := weightedEst()
+		e.tr.Emit(obs.Event{Kind: obs.KindSpan, Stage: "polish",
+			DurMS: obs.MS(time.Since(t0)),
+			Attrs: map[string]float64{
+				"variant": float64(e.variant),
+				"passes":  float64(passes),
+				"before":  float64(before),
+				"after":   float64(after),
+				"delta":   float64(after - before),
+			}})
+	}
 }
 
 // reclassifyFromScratch rebuilds every row's constraint-matrix state from
@@ -830,9 +960,17 @@ func minDim(m int) int {
 // updateConstraints is the paper's Update_constraints: mark satisfied
 // rows, Classify the infeasible ones, and add their guide-constraints.
 func (e *encoder) updateConstraints(j int) {
-	for _, t := range e.rows {
+	for ri, t := range e.rows {
 		if !t.satisfied && !t.infeasible && t.unsatisfiedCount() == 0 {
 			t.satisfied = true
+			if e.tr != nil {
+				e.tr.Emit(obs.Event{Kind: obs.KindEvent, Stage: "classify", Name: "satisfied",
+					Attrs: map[string]float64{
+						"variant": float64(e.variant),
+						"row":     float64(ri),
+						"col":     float64(j),
+					}})
+			}
 		}
 	}
 	infeasible := e.classify(j)
@@ -882,6 +1020,17 @@ func (e *encoder) classify(j int) []int {
 		if bad {
 			t.infeasible = true
 			out = append(out, i)
+			mInfeasible.Inc()
+			if e.tr != nil {
+				e.tr.Emit(obs.Event{Kind: obs.KindEvent, Stage: "classify", Name: "infeasible",
+					Attrs: map[string]float64{
+						"variant":   float64(e.variant),
+						"row":       float64(i),
+						"col":       float64(j),
+						"intruders": float64(intr),
+						"depth":     float64(t.depth),
+					}})
+			}
 		}
 	}
 	return out
@@ -973,6 +1122,18 @@ func (e *encoder) addGuide(idx, j int) {
 		// A single intruder is a 0-cube, trivially disjoint from the
 		// member codes: Theorem I already applies maximally.
 		return
+	}
+	mGuides.Inc()
+	if e.tr != nil {
+		e.tr.Emit(obs.Event{Kind: obs.KindEvent, Stage: "guide", Name: "substitute",
+			Attrs: map[string]float64{
+				"variant":   float64(e.variant),
+				"parent":    float64(idx),
+				"col":       float64(j),
+				"depth":     float64(t.depth + 1),
+				"intruders": float64(intr.Count()),
+				"weight":    t.weight * e.opts.GuideWeight,
+			}})
 	}
 	g := newTracked(intr, GuideKind, t.depth+1, idx, t.weight*e.opts.GuideWeight)
 	// A guide's relevant dichotomies oppose only the original members.
@@ -1072,6 +1233,7 @@ func (e *encoder) solve(j int) face.Constraint {
 		count[prefix[s]] = c
 	}
 	base := e.columnCost(col)
+	scans, applied := 1, 0
 	maxMoves := 6*e.n + 8
 	for move := 0; move < maxMoves; move++ {
 		oversized := false
@@ -1097,6 +1259,7 @@ func (e *encoder) solve(j int) face.Constraint {
 			}
 			flip(col, s)
 			gain := e.columnCost(col) - base
+			scans++
 			flip(col, s)
 			if bestS < 0 || gain > bestGain {
 				bestS, bestGain = s, gain
@@ -1118,7 +1281,10 @@ func (e *encoder) solve(j int) face.Constraint {
 		c[1-from]++
 		count[prefix[bestS]] = c
 		base += bestGain
+		applied++
 	}
+	mColumnScans.Add(int64(scans))
+	e.lastMoves, e.lastCost = applied, base
 	return col
 }
 

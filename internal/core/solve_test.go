@@ -25,7 +25,7 @@ func TestSolveMaintainsClassCapacity(t *testing.T) {
 			p.AddConstraint(c)
 		}
 		nv := p.MinLength()
-		e := encodeOnce(p, Options{DisablePolish: true}.withDefaults(), nv, false)
+		e := encodeOnce(p, Options{DisablePolish: true}.withDefaults(), nv, false, 0)
 		for j := 1; j <= nv; j++ {
 			classes := map[uint64]int{}
 			mask := uint64(1)<<uint(j) - 1
@@ -76,7 +76,7 @@ func TestGuideTracksOnlyOriginalMembers(t *testing.T) {
 		big.Add(s)
 	}
 	p.AddConstraint(big)
-	e := encodeOnce(p, Options{}.withDefaults(), p.MinLength(), false)
+	e := encodeOnce(p, Options{}.withDefaults(), p.MinLength(), false, 0)
 	if len(e.rows) <= e.nOri {
 		t.Fatal("an infeasible constraint must spawn a guide row")
 	}

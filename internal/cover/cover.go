@@ -12,6 +12,15 @@ import (
 	"strings"
 
 	"picola/internal/cube"
+	"picola/internal/obs"
+)
+
+// URP metrics: tautology node visits count the recursion (a URP workload
+// measure), the others count entry-point calls.
+var (
+	mTautologyNodes = obs.Default.Counter("cover.tautology_nodes")
+	mComplements    = obs.Default.Counter("cover.complements")
+	mSharps         = obs.Default.Counter("cover.sharps")
 )
 
 // Cover is a set of cubes over a common domain. The cube slice is owned by
@@ -142,6 +151,7 @@ func (f *Cover) activeVar() int {
 
 // Tautology reports whether the cover covers the entire space.
 func (f *Cover) Tautology() bool {
+	mTautologyNodes.Inc()
 	d := f.D
 	// Quick accept: a universal cube.
 	for _, c := range f.Cubes {
@@ -181,6 +191,7 @@ func (f *Cover) Tautology() bool {
 // by no cube of f), computed by Shannon expansion with single-cube
 // containment cleanup. The result is not guaranteed minimal.
 func (f *Cover) Complement() *Cover {
+	mComplements.Inc()
 	g := f.complementRec()
 	g.SCC()
 	return g
@@ -257,6 +268,7 @@ func sharpUniverse(d *cube.Domain, c cube.Cube) *Cover {
 
 // Sharp returns a cover of a minus b: the minterms of cube a not in cube b.
 func Sharp(d *cube.Domain, a, b cube.Cube) *Cover {
+	mSharps.Inc()
 	out := New(d)
 	if !d.Intersects(a, b) {
 		out.Cubes = append(out.Cubes, a.Clone())

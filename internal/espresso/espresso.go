@@ -16,6 +16,15 @@ import (
 	"picola/internal/cover"
 	"picola/internal/covering"
 	"picola/internal/cube"
+	"picola/internal/obs"
+)
+
+// Invocation metrics (atomic; cached pointers keep lookups off hot paths).
+var (
+	mMinimize   = obs.Default.Counter("espresso.minimize")
+	mIterations = obs.Default.Counter("espresso.iterations")
+	tMinimize   = obs.Default.Timer("espresso.minimize.time")
+	hOnSize     = obs.Default.Histogram("espresso.on_size", 4, 16, 64, 256, 1024)
 )
 
 // Function is a three-valued logic function given as an ON-set, a
@@ -72,6 +81,9 @@ func Minimize(f *Function, opts ...Options) (*cover.Cover, error) {
 	if o.MaxIterations == 0 {
 		o.MaxIterations = 100
 	}
+	mMinimize.Inc()
+	hOnSize.Observe(int64(f.On.Len()))
+	defer tMinimize.Start()()
 	d := f.D
 	dc := f.DC
 	off := f.Off
@@ -116,6 +128,7 @@ func Minimize(f *Function, opts ...Options) (*cover.Cover, error) {
 
 	best := coverCost(F)
 	for iter := 0; iter < o.MaxIterations; iter++ {
+		mIterations.Inc()
 		F = reduce(F, workDC)
 		F = expand(F, off)
 		F = irredundant(F, workDC)

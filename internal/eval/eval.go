@@ -11,6 +11,16 @@ import (
 	"picola/internal/espresso"
 	"picola/internal/exact"
 	"picola/internal/face"
+	"picola/internal/obs"
+)
+
+// Evaluation metrics: how many constraint functions were minimized, and
+// by which minimizer.
+var (
+	mConstraintCubes = obs.Default.Counter("eval.constraint_cubes")
+	mExact           = obs.Default.Counter("eval.exact")
+	mHeuristic       = obs.Default.Counter("eval.heuristic")
+	tEvaluate        = obs.Default.Timer("eval.evaluate")
 )
 
 // codeCube converts symbol sym's code into a 0-dimensional cube.
@@ -46,14 +56,17 @@ func ConstraintFunction(e *face.Encoding, c face.Constraint) *espresso.Function 
 // spaces beyond the exact minimizer's input limit fall back to the
 // espresso heuristic. A satisfied constraint costs exactly one cube.
 func ConstraintCubes(e *face.Encoding, c face.Constraint) (int, error) {
+	mConstraintCubes.Inc()
 	f := ConstraintFunction(e, c)
 	if e.NV <= exact.MaxInputs {
+		mExact.Inc()
 		min, err := exact.Minimize(f, e.NV)
 		if err != nil {
 			return 0, err
 		}
 		return min.Len(), nil
 	}
+	mHeuristic.Inc()
 	min, err := espresso.Minimize(f)
 	if err != nil {
 		return 0, err
@@ -66,6 +79,8 @@ func ConstraintCubes(e *face.Encoding, c face.Constraint) (int, error) {
 // ENC is slow precisely because it runs full logic minimization inside
 // its search loop, and that property is part of what Table I reproduces.
 func ConstraintCubesHeuristic(e *face.Encoding, c face.Constraint) (int, error) {
+	mConstraintCubes.Inc()
+	mHeuristic.Inc()
 	f := ConstraintFunction(e, c)
 	min, err := espresso.Minimize(f)
 	if err != nil {
@@ -90,6 +105,7 @@ type Cost struct {
 
 // Evaluate scores the encoding against every constraint of the problem.
 func Evaluate(p *face.Problem, e *face.Encoding) (*Cost, error) {
+	defer tEvaluate.Start()()
 	c := &Cost{Cubes: make([]int, len(p.Constraints))}
 	for i, con := range p.Constraints {
 		k, err := ConstraintCubes(e, con)

@@ -17,6 +17,15 @@ import (
 	"picola/internal/covering"
 	"picola/internal/cube"
 	"picola/internal/espresso"
+	"picola/internal/obs"
+)
+
+// The exact minimizer substitutes for the heuristic espresso loop at
+// small input widths, so its invocations are counted under the espresso
+// family: together the two counters cover every two-level minimization.
+var (
+	mMinimize = obs.Default.Counter("espresso.exact_minimize")
+	tMinimize = obs.Default.Timer("espresso.exact_minimize.time")
 )
 
 // MaxInputs bounds the accepted input count (3^n cubes are enumerated).
@@ -39,6 +48,8 @@ type icube struct {
 // inputs tells how many leading variables are inputs; pass f.D.NumVars()
 // for a pure single-output function over a binary domain.
 func Minimize(f *espresso.Function, inputs int) (*cover.Cover, error) {
+	mMinimize.Inc()
+	defer tMinimize.Start()()
 	d := f.D
 	if inputs < 0 || inputs > d.NumVars() || d.NumVars()-inputs > 1 {
 		return nil, fmt.Errorf("exact: domain must be inputs plus at most one output variable")

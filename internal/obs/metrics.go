@@ -1,0 +1,254 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics is a named registry of counters, gauges, timers and histograms.
+// Registration (the name → metric lookup) takes a mutex; the metrics
+// themselves are lock-free atomics, safe for concurrent hot paths.
+// Instrumented packages cache the returned pointers in package-level
+// variables so the map lookup never sits on a hot path.
+type Metrics struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	timers   map[string]*Timer
+	hists    map[string]*Histogram
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		timers:   map[string]*Timer{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Default is the process-wide registry the instrumented packages use.
+var Default = NewMetrics()
+
+// Counter is a monotonically increasing atomic count.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic last-value metric.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores n.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Value returns the stored value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Timer accumulates monotonic wall-clock observations.
+type Timer struct{ n, ns atomic.Int64 }
+
+// Observe records one duration.
+func (t *Timer) Observe(d time.Duration) {
+	t.n.Add(1)
+	t.ns.Add(int64(d))
+}
+
+// Start begins a measurement; the returned func stops and records it.
+func (t *Timer) Start() func() {
+	t0 := time.Now()
+	return func() { t.Observe(time.Since(t0)) }
+}
+
+// Count returns the number of observations; Total their summed duration.
+func (t *Timer) Count() int64         { return t.n.Load() }
+func (t *Timer) Total() time.Duration { return time.Duration(t.ns.Load()) }
+
+// Histogram counts observations into fixed buckets: bucket i counts values
+// v ≤ bounds[i]; the final implicit bucket counts the rest.
+type Histogram struct {
+	bounds  []int64
+	buckets []atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	h.count.Add(1)
+	h.sum.Add(v)
+	for i, b := range h.bounds {
+		if v <= b {
+			h.buckets[i].Add(1)
+			return
+		}
+	}
+	h.buckets[len(h.bounds)].Add(1)
+}
+
+// Counter returns (registering on first use) the named counter.
+func (m *Metrics) Counter(name string) *Counter {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.counters[name]
+	if !ok {
+		c = &Counter{}
+		m.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (registering on first use) the named gauge.
+func (m *Metrics) Gauge(name string) *Gauge {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	g, ok := m.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		m.gauges[name] = g
+	}
+	return g
+}
+
+// Timer returns (registering on first use) the named timer.
+func (m *Metrics) Timer(name string) *Timer {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t, ok := m.timers[name]
+	if !ok {
+		t = &Timer{}
+		m.timers[name] = t
+	}
+	return t
+}
+
+// Histogram returns (registering on first use) the named histogram. The
+// bounds of the first registration win; later calls may omit them.
+func (m *Metrics) Histogram(name string, bounds ...int64) *Histogram {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.hists[name]
+	if !ok {
+		bs := append([]int64(nil), bounds...)
+		h = &Histogram{bounds: bs, buckets: make([]atomic.Int64, len(bs)+1)}
+		m.hists[name] = h
+	}
+	return h
+}
+
+// Reset zeroes every registered metric. Registrations (and cached
+// pointers) stay valid.
+func (m *Metrics) Reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, c := range m.counters {
+		c.v.Store(0)
+	}
+	for _, g := range m.gauges {
+		g.v.Store(0)
+	}
+	for _, t := range m.timers {
+		t.n.Store(0)
+		t.ns.Store(0)
+	}
+	for _, h := range m.hists {
+		h.count.Store(0)
+		h.sum.Store(0)
+		for i := range h.buckets {
+			h.buckets[i].Store(0)
+		}
+	}
+}
+
+// TimerStat is a timer's exported form.
+type TimerStat struct {
+	Count   int64 `json:"count"`
+	TotalNS int64 `json:"total_ns"`
+	MeanNS  int64 `json:"mean_ns"`
+}
+
+// HistStat is a histogram's exported form. Buckets[i] counts values ≤
+// Bounds[i]; the final extra bucket counts the overflow.
+type HistStat struct {
+	Count   int64   `json:"count"`
+	Sum     int64   `json:"sum"`
+	Bounds  []int64 `json:"bounds"`
+	Buckets []int64 `json:"buckets"`
+}
+
+// Snapshot is a point-in-time copy of a registry. Map keys serialize in
+// sorted order, so marshaling a snapshot is deterministic for fixed
+// values.
+type Snapshot struct {
+	Counters   map[string]int64     `json:"counters,omitempty"`
+	Gauges     map[string]int64     `json:"gauges,omitempty"`
+	Timers     map[string]TimerStat `json:"timers,omitempty"`
+	Histograms map[string]HistStat  `json:"histograms,omitempty"`
+}
+
+// Snapshot copies the registry's current values.
+func (m *Metrics) Snapshot() *Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := &Snapshot{}
+	if len(m.counters) > 0 {
+		s.Counters = make(map[string]int64, len(m.counters))
+		for k, c := range m.counters {
+			s.Counters[k] = c.Value()
+		}
+	}
+	if len(m.gauges) > 0 {
+		s.Gauges = make(map[string]int64, len(m.gauges))
+		for k, g := range m.gauges {
+			s.Gauges[k] = g.Value()
+		}
+	}
+	if len(m.timers) > 0 {
+		s.Timers = make(map[string]TimerStat, len(m.timers))
+		for k, t := range m.timers {
+			st := TimerStat{Count: t.Count(), TotalNS: int64(t.Total())}
+			if st.Count > 0 {
+				st.MeanNS = st.TotalNS / st.Count
+			}
+			s.Timers[k] = st
+		}
+	}
+	if len(m.hists) > 0 {
+		s.Histograms = make(map[string]HistStat, len(m.hists))
+		for k, h := range m.hists {
+			st := HistStat{
+				Count:   h.count.Load(),
+				Sum:     h.sum.Load(),
+				Bounds:  append([]int64(nil), h.bounds...),
+				Buckets: make([]int64, len(h.buckets)),
+			}
+			for i := range h.buckets {
+				st.Buckets[i] = h.buckets[i].Load()
+			}
+			s.Histograms[k] = st
+		}
+	}
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON (deterministic: map keys
+// sort).
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}

@@ -22,8 +22,16 @@ import (
 	"picola/internal/espresso"
 	"picola/internal/face"
 	"picola/internal/kiss"
+	"picola/internal/obs"
 	"picola/internal/optenc"
 	"picola/internal/symbolic"
+)
+
+// Flow stage timers for the -v wall-clock summary.
+var (
+	tExtract  = obs.Default.Timer("stassign.stage.extract")
+	tEncode   = obs.Default.Timer("stassign.stage.encode")
+	tMinimize = obs.Default.Timer("stassign.stage.minimize")
 )
 
 // Encoder selects the state-encoding algorithm.
@@ -71,6 +79,9 @@ type Options struct {
 	// EncBudget bounds the ENC baseline's espresso evaluations (0 =
 	// package default).
 	EncBudget int
+	// Trace receives the PICOLA encoder's structured trace events (only
+	// the Picola encoder is instrumented). Nil means tracing off.
+	Trace obs.Tracer
 }
 
 // Report is the outcome of one state assignment.
@@ -101,7 +112,9 @@ func Assign(m *kiss.FSM, o Options) (*Report, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
+	stopExtract := tExtract.Start()
 	prob, _, err := symbolic.ExtractConstraints(m)
+	stopExtract()
 	if err != nil {
 		return nil, err
 	}
@@ -112,7 +125,9 @@ func Assign(m *kiss.FSM, o Options) (*Report, error) {
 		Constraints:  len(prob.Constraints),
 		EncCompleted: true,
 	}
+	stopEncode := tEncode.Start()
 	e, err := encodeStates(m, prob, o, rep)
+	stopEncode()
 	if err != nil {
 		return nil, err
 	}
@@ -123,7 +138,9 @@ func Assign(m *kiss.FSM, o Options) (*Report, error) {
 			rep.SatisfiedConstraints++
 		}
 	}
+	stopMin := tMinimize.Start()
 	min, d, err := MinimizeEncoded(m, e)
+	stopMin()
 	if err != nil {
 		return nil, err
 	}
@@ -143,7 +160,7 @@ func encodeStates(m *kiss.FSM, prob *face.Problem, o Options, rep *Report) (*fac
 		// which is a proxy here — the flow minimizes the full encoded
 		// machine afterwards — so the cheap estimate-based refinement
 		// alone keeps the tool's runtime advantage (paper Table II).
-		r, err := core.Encode(prob, core.Options{ExactPolishBudget: -1})
+		r, err := core.Encode(prob, core.Options{ExactPolishBudget: -1, Trace: o.Trace})
 		if err != nil {
 			return nil, err
 		}

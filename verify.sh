@@ -1,0 +1,11 @@
+#!/bin/sh
+# verify.sh — the repo's pre-merge gate. Runs the static checks, the full
+# test suite, and the race detector over the concurrency-sensitive
+# packages (the obs metrics registry is written from hot paths and read
+# by snapshot exporters; core drives it from the encoder).
+set -eux
+
+go vet ./...
+go build ./...
+go test ./...
+go test -race ./internal/obs ./internal/core
