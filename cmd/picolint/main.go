@@ -1,0 +1,79 @@
+// Command picolint runs the repo's static-analysis suite — the five
+// determinism / tracing / error-handling invariants in internal/analysis
+// — over module packages.
+//
+//	picolint ./...                          lint the whole module
+//	picolint ./internal/core ./internal/eval
+//	picolint -analyzers detrange,seedrand ./...
+//	picolint -list                          describe the analyzers
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load failure. Findings
+// can be suppressed line by line with a justified directive:
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// on the flagged line or the line directly above it. See DESIGN.md
+// §"Determinism policy and picolint".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"picola/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "describe the analyzers and exit")
+	names := flag.String("analyzers", "", "comma-separated subset of analyzers to run (default all)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: picolint [-list] [-analyzers a,b] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	analyzers, err := analysis.ByName(*names)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "picolint:", err)
+		os.Exit(2)
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	loader, err := analysis.NewLoader("")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "picolint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "picolint:", err)
+		os.Exit(2)
+	}
+	wd, _ := os.Getwd()
+	findings := 0
+	for _, pkg := range pkgs {
+		for _, d := range analysis.Run(analyzers, pkg) {
+			findings++
+			if wd != "" {
+				if rel, err := filepath.Rel(wd, d.Pos.Filename); err == nil && !filepath.IsAbs(rel) {
+					d.Pos.Filename = rel
+				}
+			}
+			fmt.Println(d)
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "picolint: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,168 @@
+package picola
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+
+	"picola/internal/benchgen"
+	"picola/internal/consfile"
+	"picola/internal/core"
+	"picola/internal/eval"
+	"picola/internal/stassign"
+	"picola/internal/symbolic"
+)
+
+// pipelineFingerprint runs the full pipeline on one benchmark and
+// renders every output-producing stage to bytes: the extracted
+// constraint problem, the PICOLA encoding, the per-constraint cube
+// evaluation, and the minimized encoded machine. Any order dependence
+// anywhere in the pipeline shows up as a fingerprint difference.
+func pipelineFingerprint(t *testing.T, name string) []byte {
+	t.Helper()
+	spec, ok := benchgen.ByName(name)
+	if !ok {
+		t.Fatalf("missing spec %s", name)
+	}
+	m := benchgen.Generate(spec)
+	prob, _, err := symbolic.ExtractConstraints(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.WriteString(prob.String())
+	r, err := core.Encode(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteString(r.Encoding.String())
+	cost, err := eval.Evaluate(prob, r.Encoding)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range cost.Cubes {
+		buf.WriteByte(byte('0' + k%10))
+	}
+	min, _, err := stassign.MinimizeEncoded(m, r.Encoding)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteString(min.String())
+	return buf.Bytes()
+}
+
+// TestPipelineDeterminism runs the pipeline twice per benchmark within
+// one process. Go randomizes map iteration per range statement, so a
+// single process pass catches iteration-order dependence.
+func TestPipelineDeterminism(t *testing.T) {
+	for _, name := range []string{"bbara", "dk14", "opus", "ex3"} {
+		a := pipelineFingerprint(t, name)
+		b := pipelineFingerprint(t, name)
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s: two pipeline runs differ:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", name, a, b)
+		}
+	}
+}
+
+// TestConsfileDeterminism covers the file-driven entry: parse the
+// paper's example problem from testdata and encode it twice.
+func TestConsfileDeterminism(t *testing.T) {
+	b, err := os.ReadFile(filepath.Join("testdata", "figure1.cons"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() []byte {
+		p, err := consfile.ParseString(string(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := core.Encode(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := consfile.Write(&buf, p); err != nil {
+			t.Fatal(err)
+		}
+		buf.WriteString(r.Encoding.String())
+		return buf.Bytes()
+	}
+	if a, c := run(), run(); !bytes.Equal(a, c) {
+		t.Errorf("figure1.cons: two encodes differ:\n%s\nvs\n%s", a, c)
+	}
+}
+
+// TestTablesJSONDeterminism runs the real cmd/tables binary twice in
+// separate processes — map iteration order also differs across
+// processes — and asserts the -json snapshots are byte-identical once
+// the wall-clock fields (the only legitimately varying values) are
+// zeroed.
+func TestTablesJSONDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go run twice")
+	}
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	run := func() []byte {
+		cmd := exec.Command(goBin, "run", "./cmd/tables", "-table", "1", "-fsm", "bbara", "-json", "-")
+		var out, stderr bytes.Buffer
+		cmd.Stdout = &out
+		cmd.Stderr = &stderr
+		if err := cmd.Run(); err != nil {
+			t.Fatalf("tables run: %v\n%s", err, stderr.String())
+		}
+		// stdout carries the rendered table then the JSON snapshot; the
+		// snapshot starts at the first '{'.
+		i := bytes.IndexByte(out.Bytes(), '{')
+		if i < 0 {
+			t.Fatalf("no JSON snapshot in output:\n%s", out.String())
+		}
+		return canonicalizeSnapshot(t, out.Bytes()[i:])
+	}
+	if a, b := run(), run(); !bytes.Equal(a, b) {
+		t.Errorf("two cmd/tables runs differ:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// canonicalizeSnapshot zeroes every wall_ns in a picola-bench snapshot
+// and re-marshals it (json sorts map keys, so the bytes are canonical).
+func canonicalizeSnapshot(t *testing.T, b []byte) []byte {
+	t.Helper()
+	var snap struct {
+		Schema string `json:"schema"`
+		Table  int    `json:"table"`
+		Rows   []struct {
+			FSM         string                     `json:"fsm"`
+			Constraints int                        `json:"constraints,omitempty"`
+			States      int                        `json:"states,omitempty"`
+			Encoders    map[string]json.RawMessage `json:"encoders"`
+		} `json:"rows"`
+	}
+	if err := json.Unmarshal(b, &snap); err != nil {
+		t.Fatalf("bad snapshot: %v\n%s", err, b)
+	}
+	for _, row := range snap.Rows {
+		for k, raw := range row.Encoders {
+			var stat map[string]any
+			if err := json.Unmarshal(raw, &stat); err != nil {
+				t.Fatal(err)
+			}
+			stat["wall_ns"] = 0
+			nb, err := json.Marshal(stat)
+			if err != nil {
+				t.Fatal(err)
+			}
+			row.Encoders[k] = nb
+		}
+	}
+	out, err := json.MarshalIndent(snap, "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}

@@ -1,0 +1,128 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Dropperr flags calls whose error result is silently discarded — a
+// bare expression statement, go statement, or defer — in internal/
+// non-test code. Deliberate discards must be explicit (`_ = f()`) or
+// justified with a lint:ignore comment.
+//
+// Two sink exemptions keep the signal high: the never-failing in-memory
+// sinks (*bytes.Buffer, *strings.Builder), and writes through a
+// *bufio.Writer, whose first error latches and is re-reported by Flush —
+// Flush itself is NOT exempt, so the one error that matters in that
+// pattern is still enforced. fmt.Fprint* into any exempt sink is
+// likewise exempt.
+var Dropperr = &Analyzer{
+	Name: "dropperr",
+	Doc:  "ignored error return in internal, non-test code",
+	Run:  runDropperr,
+}
+
+func runDropperr(p *Pass) []Diagnostic {
+	if !strings.Contains(p.ImportPath, "/internal/") {
+		return nil
+	}
+	errType := types.Universe.Lookup("error").Type()
+	var out []Diagnostic
+	check := func(call *ast.CallExpr, how string) []Diagnostic {
+		t := p.Info.TypeOf(call)
+		if t == nil {
+			return nil
+		}
+		var results []types.Type
+		if tup, ok := t.(*types.Tuple); ok {
+			for i := 0; i < tup.Len(); i++ {
+				results = append(results, tup.At(i).Type())
+			}
+		} else {
+			results = []types.Type{t}
+		}
+		dropsErr := false
+		for _, rt := range results {
+			if types.AssignableTo(rt, errType) {
+				dropsErr = true
+			}
+		}
+		if !dropsErr || isInfallibleSink(p, call) {
+			return nil
+		}
+		return []Diagnostic{{
+			Pos:      p.Fset.Position(call.Pos()),
+			Analyzer: "dropperr",
+			Message:  "error result of " + callName(call) + " is dropped" + how + "; handle it or discard explicitly with _ =",
+		}}
+	}
+	inspect(p.Files, func(n ast.Node, _ []ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := st.X.(*ast.CallExpr); ok {
+				out = append(out, check(call, "")...)
+			}
+		case *ast.GoStmt:
+			out = append(out, check(st.Call, " by go")...)
+		case *ast.DeferStmt:
+			out = append(out, check(st.Call, " by defer")...)
+		}
+		return true
+	})
+	return out
+}
+
+// isInfallibleSink reports whether call can only fail through an exempt
+// sink: a non-Flush method on a sink type, or fmt.Fprint* writing to one.
+func isInfallibleSink(p *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if pn, ok := p.Info.Uses[id].(*types.PkgName); ok {
+			if pn.Imported().Path() == "fmt" && strings.HasPrefix(sel.Sel.Name, "Fprint") && len(call.Args) > 0 {
+				return isSinkType(p.Info.TypeOf(call.Args[0]))
+			}
+			return false
+		}
+	}
+	return sel.Sel.Name != "Flush" && isSinkType(p.Info.TypeOf(sel.X))
+}
+
+// isSinkType reports whether t is (a pointer to) bytes.Buffer,
+// strings.Builder, or the sticky-error bufio.Writer.
+func isSinkType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	switch pkgPathOf(obj) + "." + obj.Name() {
+	case "bytes.Buffer", "strings.Builder", "bufio.Writer":
+		return true
+	}
+	return false
+}
+
+// callName renders a short name for the called function.
+func callName(call *ast.CallExpr) string {
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		if id, ok := f.X.(*ast.Ident); ok {
+			return id.Name + "." + f.Sel.Name
+		}
+		return f.Sel.Name
+	default:
+		return "call"
+	}
+}

@@ -1,0 +1,63 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Seedrand flags calls to math/rand's global, process-seeded top-level
+// functions (rand.Intn, rand.Shuffle, rand.Seed, ...) in non-test code.
+// Randomized algorithms must take an injected *rand.Rand constructed
+// from an explicit seed — rand.New and the source constructors stay
+// allowed because they are exactly how that injection is built.
+var Seedrand = &Analyzer{
+	Name: "seedrand",
+	Doc:  "global math/rand call: randomized code must take an injected, explicitly seeded *rand.Rand",
+	Run:  runSeedrand,
+}
+
+// seedrandAllowed are the math/rand top-level functions that construct
+// injectable generators rather than consuming the global one.
+var seedrandAllowed = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true, // takes an explicit *Rand
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+func runSeedrand(p *Pass) []Diagnostic {
+	var out []Diagnostic
+	inspect(p.Files, func(n ast.Node, _ []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := p.Info.Uses[id].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		path := pn.Imported().Path()
+		if path != "math/rand" && path != "math/rand/v2" {
+			return true
+		}
+		if seedrandAllowed[sel.Sel.Name] {
+			return true
+		}
+		out = append(out, Diagnostic{
+			Pos:      p.Fset.Position(call.Pos()),
+			Analyzer: "seedrand",
+			Message:  "rand." + sel.Sel.Name + " uses the process-global generator; inject a *rand.Rand (rand.New(rand.NewSource(seed)))",
+		})
+		return true
+	})
+	return out
+}

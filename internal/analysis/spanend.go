@@ -1,0 +1,218 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Spanend flags obs.Timer.Start calls whose stop func provably may not
+// run: a discarded result, a stop that is never called, a stop reached
+// only inside a branch, or a plain (non-deferred) stop with a return
+// statement between Start and the stop call. The safe forms are
+//
+//	defer t.Start()()
+//	stop := t.Start(); ...; defer stop()
+//	stop := t.Start(); <straight-line code>; stop()
+//
+// — anything cleverer should be restructured or justified with a
+// lint:ignore comment.
+var Spanend = &Analyzer{
+	Name: "spanend",
+	Doc:  "obs timer span started but not reliably stopped on every path",
+	Run:  runSpanend,
+}
+
+func runSpanend(p *Pass) []Diagnostic {
+	var out []Diagnostic
+	report := func(pos ast.Node, msg string) {
+		out = append(out, Diagnostic{
+			Pos:      p.Fset.Position(pos.Pos()),
+			Analyzer: "spanend",
+			Message:  msg,
+		})
+	}
+	inspect(p.Files, func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isTimerStart(p, call) {
+			return true
+		}
+		if len(stack) < 2 {
+			return true
+		}
+		switch parent := stack[len(stack)-2].(type) {
+		case *ast.CallExpr:
+			// t.Start()(): fine only when the immediate invocation is
+			// deferred — otherwise the span measures nothing.
+			if parent.Fun != ast.Expr(call) {
+				report(call, "Timer.Start result passed as a value; start the span where its end can be deferred")
+				return true
+			}
+			if len(stack) >= 3 {
+				if _, ok := stack[len(stack)-3].(*ast.DeferStmt); ok {
+					return true
+				}
+			}
+			report(call, "Timer.Start()() must be deferred (defer t.Start()()); an immediate call records an empty span")
+		case *ast.AssignStmt:
+			checkAssignedStop(p, call, parent, stack, report)
+		case *ast.ExprStmt:
+			report(call, "Timer.Start result discarded; the span never ends")
+		default:
+			report(call, "Timer.Start used in an expression; assign the stop func and defer it")
+		}
+		return true
+	})
+	return out
+}
+
+// isTimerStart reports whether call invokes (*obs.Timer).Start.
+func isTimerStart(p *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Start" {
+		return false
+	}
+	s, ok := p.Info.Selections[sel]
+	if !ok {
+		return false
+	}
+	fn, ok := s.Obj().(*types.Func)
+	if !ok {
+		return false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	t := recv.Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Timer" &&
+		pkgPathOf(named.Obj()) == "picola/internal/obs"
+}
+
+// checkAssignedStop validates `stop := t.Start()` usage: a defer of
+// stop anywhere in the enclosing function is accepted; otherwise stop
+// must be called as a top-level statement of the same block with no
+// return statement reachable in between.
+func checkAssignedStop(p *Pass, call *ast.CallExpr, asg *ast.AssignStmt,
+	stack []ast.Node, report func(ast.Node, string)) {
+	if len(asg.Lhs) != 1 {
+		report(call, "Timer.Start in a multi-assignment; assign the stop func alone and defer it")
+		return
+	}
+	lhs, ok := asg.Lhs[0].(*ast.Ident)
+	if !ok || lhs.Name == "_" {
+		report(call, "Timer.Start result discarded; the span never ends")
+		return
+	}
+	obj := p.Info.Defs[lhs]
+	if obj == nil {
+		obj = p.Info.Uses[lhs]
+	}
+	if obj == nil {
+		return
+	}
+	body := enclosingFuncBody(stack)
+	if body == nil {
+		report(call, "Timer.Start outside a function body")
+		return
+	}
+	if hasDeferOf(p, body, obj) {
+		return
+	}
+	// No defer: require a straight-line stop in the assignment's block.
+	block, idx := enclosingBlockStmt(stack, asg)
+	if block == nil {
+		report(call, "stop func is only called conditionally; defer it instead")
+		return
+	}
+	for i := idx + 1; i < len(block.List); i++ {
+		st := block.List[i]
+		if es, ok := st.(*ast.ExprStmt); ok {
+			if c, ok := es.X.(*ast.CallExpr); ok {
+				if id, ok := c.Fun.(*ast.Ident); ok && p.Info.Uses[id] == obj {
+					return // straight-line stop reached without a return
+				}
+			}
+		}
+		if containsReturn(st) {
+			report(call, "a return between Timer.Start and "+lhs.Name+"() can leak the span; defer "+lhs.Name+"()")
+			return
+		}
+	}
+	report(call, "stop func "+lhs.Name+" is never called on this block's fall-through path; defer it")
+}
+
+// enclosingFuncBody returns the body of the innermost enclosing
+// function declaration or literal.
+func enclosingFuncBody(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch f := stack[i].(type) {
+		case *ast.FuncDecl:
+			return f.Body
+		case *ast.FuncLit:
+			return f.Body
+		}
+	}
+	return nil
+}
+
+// enclosingBlockStmt finds the block that directly lists stmt, and
+// stmt's index in it.
+func enclosingBlockStmt(stack []ast.Node, stmt ast.Stmt) (*ast.BlockStmt, int) {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if b, ok := stack[i].(*ast.BlockStmt); ok {
+			for j, s := range b.List {
+				if s == stmt {
+					return b, j
+				}
+			}
+			return nil, 0
+		}
+	}
+	return nil, 0
+}
+
+// hasDeferOf reports whether body contains `defer obj()` outside nested
+// function literals.
+func hasDeferOf(p *Pass, body *ast.BlockStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		d, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		if id, ok := d.Call.Fun.(*ast.Ident); ok && p.Info.Uses[id] == obj {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// containsReturn reports whether stmt contains a return outside nested
+// function literals.
+func containsReturn(stmt ast.Stmt) bool {
+	found := false
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			found = true
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,61 @@
+// Package detrange is the analyzer fixture: each line marked `want`
+// must be flagged, every other line must stay clean.
+package detrange
+
+import "sort"
+
+// Bad iterates a map in an output-producing position.
+func Bad(m map[string]int) []int {
+	var out []int
+	for _, v := range m { // want "map iteration order is non-deterministic"
+		out = append(out, v)
+	}
+	return out
+}
+
+// BadKeyValue uses both key and value, so the collect exemption must
+// not apply.
+func BadKeyValue(m map[string]int) int {
+	best := 0
+	for k, v := range m { // want "map iteration order is non-deterministic"
+		if len(k)+v > best {
+			best = len(k) + v
+		}
+	}
+	return best
+}
+
+// GoodCollect is the sanctioned prologue: collect keys, sort, range the
+// slice.
+func GoodCollect(m map[string]int) []int {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]int, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
+}
+
+// GoodSlice ranges a slice; only maps are order-randomized.
+func GoodSlice(s []int) int {
+	t := 0
+	for _, v := range s {
+		t += v
+	}
+	return t
+}
+
+// Suppressed demonstrates a justified suppression of an
+// order-insensitive loop.
+func Suppressed(m map[string]int) int {
+	n := 0
+	//lint:ignore detrange order-insensitive: pure element count
+	for range m {
+		n++
+	}
+	return n
+}

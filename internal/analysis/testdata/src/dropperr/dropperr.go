@@ -1,0 +1,61 @@
+// Package dropperr is the analyzer fixture: each line marked `want`
+// must be flagged, every other line must stay clean.
+package dropperr
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// Bad drops the error of a fallible call.
+func Bad(path string) {
+	os.Remove(path) // want "error result of os.Remove is dropped"
+}
+
+// BadDefer drops it through defer.
+func BadDefer(f *os.File) {
+	defer f.Close() // want "dropped by defer"
+}
+
+// BadFlush: bufio writes are exempt but the latched Flush error is not.
+func BadFlush(w io.Writer) {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "hello")
+	bw.Flush() // want "error result of bw.Flush is dropped"
+}
+
+// Good propagates.
+func Good(path string) error {
+	return os.Remove(path)
+}
+
+// GoodExplicit discards visibly.
+func GoodExplicit(path string) {
+	_ = os.Remove(path)
+}
+
+// GoodSinks writes to infallible in-memory sinks.
+func GoodSinks() string {
+	var b bytes.Buffer
+	var sb strings.Builder
+	b.WriteString("x")
+	fmt.Fprintf(&sb, "%d", 1)
+	return b.String() + sb.String()
+}
+
+// GoodBufio is the sticky-error pattern: writes unchecked, Flush checked.
+func GoodBufio(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "hello")
+	return bw.Flush()
+}
+
+// Suppressed demonstrates a justified suppression.
+func Suppressed(path string) {
+	//lint:ignore dropperr fixture: removal of a scratch file is best-effort
+	os.Remove(path)
+}

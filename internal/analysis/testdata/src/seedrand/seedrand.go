@@ -1,0 +1,27 @@
+// Package seedrand is the analyzer fixture: each line marked `want`
+// must be flagged, every other line must stay clean.
+package seedrand
+
+import "math/rand"
+
+// Bad consumes the process-global generator.
+func Bad() int {
+	return rand.Intn(10) // want "process-global generator"
+}
+
+// BadShuffle does too, through a different top-level function.
+func BadShuffle(s []int) {
+	rand.Shuffle(len(s), func(i, j int) { s[i], s[j] = s[j], s[i] }) // want "process-global generator"
+}
+
+// Good threads an injected generator built from an explicit seed; the
+// constructors rand.New and rand.NewSource stay allowed.
+func Good(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// GoodInjected consumes a caller-provided generator.
+func GoodInjected(r *rand.Rand, s []int) {
+	r.Shuffle(len(s), func(i, j int) { s[i], s[j] = s[j], s[i] })
+}

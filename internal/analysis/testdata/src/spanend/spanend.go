@@ -1,0 +1,67 @@
+// Package spanend is the analyzer fixture: each line marked `want`
+// must be flagged, every other line must stay clean.
+package spanend
+
+import "picola/internal/obs"
+
+var timer = obs.Default.Timer("fixture.spanend")
+
+func work() {}
+
+// BadDiscard never keeps the stop func.
+func BadDiscard() {
+	timer.Start() // want "discarded"
+	work()
+}
+
+// BadImmediate starts and stops in one expression without defer.
+func BadImmediate() {
+	timer.Start()() // want "must be deferred"
+	work()
+}
+
+// BadEarlyReturn can return between Start and stop.
+func BadEarlyReturn(cond bool) {
+	stop := timer.Start() // want "can leak the span"
+	if cond {
+		return
+	}
+	stop()
+}
+
+// BadNeverStopped assigns the stop func but never calls it.
+func BadNeverStopped() {
+	stop := timer.Start() // want "never called"
+	_ = stop
+	work()
+}
+
+// BadEscapes hands the stop func out of the function; the span's end
+// can no longer be proven locally.
+func BadEscapes() func() {
+	stop := timer.Start() // want "leak"
+	return stop
+}
+
+// GoodDefer is the canonical form.
+func GoodDefer() {
+	defer timer.Start()()
+	work()
+}
+
+// GoodDeferredStop defers a named stop func.
+func GoodDeferredStop(cond bool) int {
+	stop := timer.Start()
+	defer stop()
+	if cond {
+		return 1
+	}
+	return 0
+}
+
+// GoodStraightLine stops on the only path through the block.
+func GoodStraightLine() {
+	stop := timer.Start()
+	work()
+	stop()
+}

@@ -1,0 +1,28 @@
+// Package tracenil is the analyzer fixture: each line marked `want`
+// must be flagged, every other line must stay clean.
+package tracenil
+
+import "picola/internal/obs"
+
+// Bad calls Emit on the interface value: panics when tracing is off.
+func Bad(t obs.Tracer) {
+	t.Emit(obs.Event{Kind: obs.KindEvent, Stage: "x"}) // want "obs.Emit"
+}
+
+// BadField dereferences a possibly-nil struct field.
+type holder struct{ tr obs.Tracer }
+
+func (h *holder) BadField() {
+	h.tr.Emit(obs.Event{Kind: obs.KindEvent, Stage: "x"}) // want "obs.Emit"
+}
+
+// Good goes through the nil-safe helper.
+func Good(t obs.Tracer) {
+	obs.Emit(t, obs.Event{Kind: obs.KindEvent, Stage: "x"})
+}
+
+// GoodConcrete calls a concrete sink, which is never nil by
+// construction.
+func GoodConcrete(r *obs.Recorder) {
+	r.Emit(obs.Event{Kind: obs.KindEvent, Stage: "x"})
+}

@@ -1,0 +1,61 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Tracenil flags direct Emit calls on a value of the obs.Tracer
+// interface type outside package obs. A nil Tracer means "tracing off"
+// everywhere in this repo, and calling a method on a nil interface
+// panics — instrumented code must go through the nil-safe helper
+// obs.Emit(t, e) instead. (Calls on concrete sinks — *obs.Recorder,
+// *obs.JSONL — are fine: those are never nil by construction.)
+var Tracenil = &Analyzer{
+	Name: "tracenil",
+	Doc:  "direct method call on a possibly-nil obs.Tracer; use the nil-safe obs.Emit",
+	Run:  runTracenil,
+}
+
+func runTracenil(p *Pass) []Diagnostic {
+	if p.ImportPath == "picola/internal/obs" {
+		return nil
+	}
+	var out []Diagnostic
+	inspect(p.Files, func(n ast.Node, _ []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Emit" {
+			return true
+		}
+		if !isTracerInterface(p.Info.TypeOf(sel.X)) {
+			return true
+		}
+		out = append(out, Diagnostic{
+			Pos:      p.Fset.Position(call.Pos()),
+			Analyzer: "tracenil",
+			Message:  "Emit on an obs.Tracer value panics when tracing is off (nil); call obs.Emit(t, e)",
+		})
+		return true
+	})
+	return out
+}
+
+// isTracerInterface reports whether t is the named interface type
+// picola/internal/obs.Tracer.
+func isTracerInterface(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	if _, isIface := named.Underlying().(*types.Interface); !isIface {
+		return false
+	}
+	return named.Obj().Name() == "Tracer" && pkgPathOf(named.Obj()) == "picola/internal/obs"
+}

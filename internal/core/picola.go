@@ -218,52 +218,12 @@ func Encode(p *face.Problem, opts ...Options) (*Result, error) {
 	// evaluator is a fast Quine–McCluskey at minimum lengths); larger ones
 	// use the espresso-free estimate.
 	exactSelect := n <= 40 && nv <= 7 && o.ExactPolishBudget > 0
-	var best *encoder
-	bestScore, bestVariant := 0, 0
-	stopPortfolio := tPortfolio.Start()
-	for v := 0; v < o.Restarts; v++ {
-		vo := o
-		switch v {
-		case 1:
-			vo.GuideWeight = o.GuideWeight * 2
-		case 2:
-			vo.GuideWeight = o.GuideWeight / 2
-		}
-		t0 := time.Now()
-		e := encodeOnce(p, vo, nv, v == 3, v)
-		score := 0
-		if exactSelect {
-			for i, c := range p.Constraints {
-				k, err := eval.ConstraintCubes(e.enc, c)
-				if err != nil {
-					return nil, err
-				}
-				score += p.Weight(i) * k
-			}
-		} else {
-			cm := newCostModel(e.enc, p.Constraints)
-			for i := range p.Constraints {
-				score += p.Weight(i) * cm.estimate(i)
-			}
-			cm.flush()
-		}
-		if o.Trace != nil {
-			o.Trace.Emit(obs.Event{Kind: obs.KindSpan, Stage: "restart",
-				DurMS: obs.MS(time.Since(t0)),
-				Attrs: map[string]float64{
-					"variant":      float64(v),
-					"guide_weight": vo.GuideWeight,
-					"start_zero":   boolAttr(v == 3),
-					"score":        float64(score),
-				}})
-		}
-		if best == nil || score < bestScore {
-			best, bestScore, bestVariant = e, score, v
-		}
+	best, bestScore, bestVariant, err := runPortfolio(p, o, nv, exactSelect)
+	if err != nil {
+		return nil, err
 	}
-	stopPortfolio()
 	if o.Trace != nil {
-		o.Trace.Emit(obs.Event{Kind: obs.KindEvent, Stage: "select", Name: "winner",
+		obs.Emit(o.Trace, obs.Event{Kind: obs.KindEvent, Stage: "select", Name: "winner",
 			Attrs: map[string]float64{
 				"variant": float64(bestVariant),
 				"score":   float64(bestScore),
@@ -284,6 +244,56 @@ func Encode(p *face.Problem, opts ...Options) (*Result, error) {
 	r := best.result()
 	stopFinalize()
 	return r, nil
+}
+
+// runPortfolio tries the deterministic portfolio of column-generation
+// variants and returns the best encoder by the selection score (exact
+// constraint cubes when affordable, the cost-model estimate otherwise).
+func runPortfolio(p *face.Problem, o Options, nv int, exactSelect bool) (*encoder, int, int, error) {
+	defer tPortfolio.Start()()
+	var best *encoder
+	bestScore, bestVariant := 0, 0
+	for v := 0; v < o.Restarts; v++ {
+		vo := o
+		switch v {
+		case 1:
+			vo.GuideWeight = o.GuideWeight * 2
+		case 2:
+			vo.GuideWeight = o.GuideWeight / 2
+		}
+		t0 := time.Now()
+		e := encodeOnce(p, vo, nv, v == 3, v)
+		score := 0
+		if exactSelect {
+			for i, c := range p.Constraints {
+				k, err := eval.ConstraintCubes(e.enc, c)
+				if err != nil {
+					return nil, 0, 0, err
+				}
+				score += p.Weight(i) * k
+			}
+		} else {
+			cm := newCostModel(e.enc, p.Constraints)
+			for i := range p.Constraints {
+				score += p.Weight(i) * cm.estimate(i)
+			}
+			cm.flush()
+		}
+		if o.Trace != nil {
+			obs.Emit(o.Trace, obs.Event{Kind: obs.KindSpan, Stage: "restart",
+				DurMS: obs.MS(time.Since(t0)),
+				Attrs: map[string]float64{
+					"variant":      float64(v),
+					"guide_weight": vo.GuideWeight,
+					"start_zero":   boolAttr(v == 3),
+					"score":        float64(score),
+				}})
+		}
+		if best == nil || score < bestScore {
+			best, bestScore, bestVariant = e, score, v
+		}
+	}
+	return best, bestScore, bestVariant, nil
 }
 
 func boolAttr(b bool) float64 {
@@ -316,7 +326,7 @@ func encodeOnce(p *face.Problem, o Options, nv int, startZero bool, variant int)
 		e.apply(col, j)
 		mColumns.Inc()
 		if e.tr != nil {
-			e.tr.Emit(obs.Event{Kind: obs.KindSpan, Stage: "column",
+			obs.Emit(e.tr, obs.Event{Kind: obs.KindSpan, Stage: "column",
 				DurMS: obs.MS(time.Since(t0)),
 				Attrs: map[string]float64{
 					"variant": float64(e.variant),
@@ -397,7 +407,7 @@ func (e *encoder) exactPolish(budget int) error {
 	}
 	copy(e.enc.Codes, bestCodes)
 	if e.tr != nil {
-		e.tr.Emit(obs.Event{Kind: obs.KindSpan, Stage: "exact-polish",
+		obs.Emit(e.tr, obs.Event{Kind: obs.KindSpan, Stage: "exact-polish",
 			DurMS: obs.MS(time.Since(t0)),
 			Attrs: map[string]float64{
 				"evals":  float64(ps.evals),
@@ -895,7 +905,7 @@ func (e *encoder) polish(maxPasses int) {
 	}
 	if e.tr != nil {
 		after := weightedEst()
-		e.tr.Emit(obs.Event{Kind: obs.KindSpan, Stage: "polish",
+		obs.Emit(e.tr, obs.Event{Kind: obs.KindSpan, Stage: "polish",
 			DurMS: obs.MS(time.Since(t0)),
 			Attrs: map[string]float64{
 				"variant": float64(e.variant),
@@ -964,7 +974,7 @@ func (e *encoder) updateConstraints(j int) {
 		if !t.satisfied && !t.infeasible && t.unsatisfiedCount() == 0 {
 			t.satisfied = true
 			if e.tr != nil {
-				e.tr.Emit(obs.Event{Kind: obs.KindEvent, Stage: "classify", Name: "satisfied",
+				obs.Emit(e.tr, obs.Event{Kind: obs.KindEvent, Stage: "classify", Name: "satisfied",
 					Attrs: map[string]float64{
 						"variant": float64(e.variant),
 						"row":     float64(ri),
@@ -1022,7 +1032,7 @@ func (e *encoder) classify(j int) []int {
 			out = append(out, i)
 			mInfeasible.Inc()
 			if e.tr != nil {
-				e.tr.Emit(obs.Event{Kind: obs.KindEvent, Stage: "classify", Name: "infeasible",
+				obs.Emit(e.tr, obs.Event{Kind: obs.KindEvent, Stage: "classify", Name: "infeasible",
 					Attrs: map[string]float64{
 						"variant":   float64(e.variant),
 						"row":       float64(i),
@@ -1125,7 +1135,7 @@ func (e *encoder) addGuide(idx, j int) {
 	}
 	mGuides.Inc()
 	if e.tr != nil {
-		e.tr.Emit(obs.Event{Kind: obs.KindEvent, Stage: "guide", Name: "substitute",
+		obs.Emit(e.tr, obs.Event{Kind: obs.KindEvent, Stage: "guide", Name: "substitute",
 			Attrs: map[string]float64{
 				"variant":   float64(e.variant),
 				"parent":    float64(idx),
@@ -1236,8 +1246,12 @@ func (e *encoder) solve(j int) face.Constraint {
 	scans, applied := 1, 0
 	maxMoves := 6*e.n + 8
 	for move := 0; move < maxMoves; move++ {
+		// Scan per symbol rather than over the count map: the predicate is
+		// order-insensitive, but deterministic iteration keeps the whole
+		// loop replayable instruction for instruction.
 		oversized := false
-		for _, c := range count {
+		for s := 0; s < e.n; s++ {
+			c := count[prefix[s]]
 			if c[0] > classCap || c[1] > classCap {
 				oversized = true
 				break

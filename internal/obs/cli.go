@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"io"
@@ -64,7 +65,7 @@ func (c Config) Start() (*Session, error) {
 			s.Tracer, s.flusher = t, t
 		default:
 			if owned {
-				f.Close()
+				_ = f.Close() // the format error below is the one to report
 			}
 			return nil, fmt.Errorf("obs: unknown trace format %q (valid: jsonl, text)", c.TraceFormat)
 		}
@@ -75,7 +76,7 @@ func (c Config) Start() (*Session, error) {
 			return nil, err
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			f.Close()
+			_ = f.Close() // the profile-start error is the one to report
 			return nil, err
 		}
 		s.cpuFile = f
@@ -148,8 +149,10 @@ func openOut(path string) (*os.File, bool, error) {
 // by name — the -v per-stage wall-clock summary of the commands.
 func StageSummary(w io.Writer, m *Metrics) {
 	s := m.Snapshot()
+	bw := bufio.NewWriter(w)
 	if len(s.Timers) == 0 {
-		fmt.Fprintln(w, "no stage timings recorded")
+		fmt.Fprintln(bw, "no stage timings recorded")
+		_ = bw.Flush() // best-effort diagnostic output
 		return
 	}
 	names := make([]string, 0, len(s.Timers))
@@ -157,11 +160,12 @@ func StageSummary(w io.Writer, m *Metrics) {
 		names = append(names, k)
 	}
 	sort.Strings(names)
-	fmt.Fprintf(w, "%-28s %8s %14s %14s\n", "stage", "count", "total", "mean")
+	fmt.Fprintf(bw, "%-28s %8s %14s %14s\n", "stage", "count", "total", "mean")
 	for _, k := range names {
 		t := s.Timers[k]
-		fmt.Fprintf(w, "%-28s %8d %14v %14v\n", k, t.Count,
+		fmt.Fprintf(bw, "%-28s %8d %14v %14v\n", k, t.Count,
 			time.Duration(t.TotalNS).Round(time.Microsecond),
 			time.Duration(t.MeanNS).Round(time.Microsecond))
 	}
+	_ = bw.Flush() // best-effort diagnostic output
 }

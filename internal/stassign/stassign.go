@@ -12,6 +12,7 @@ package stassign
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"picola/internal/baseline/enc"
@@ -223,25 +224,22 @@ func OutputPairs(m *kiss.FSM) []nova.Pair {
 			}
 		}
 	}
-	var pairs []nova.Pair
-	for k, w := range counts {
-		pairs = append(pairs, nova.Pair{A: k[0], B: k[1], Weight: float64(w)})
+	// Deterministic order: sort the pair keys before emitting.
+	var keys [][2]int
+	for k := range counts {
+		keys = append(keys, k)
 	}
-	// Deterministic order.
-	sortPairs(pairs)
-	return pairs
-}
-
-func sortPairs(ps []nova.Pair) {
-	for i := 1; i < len(ps); i++ {
-		for j := i; j > 0; j-- {
-			a, b := ps[j-1], ps[j]
-			if a.A < b.A || (a.A == b.A && a.B <= b.B) {
-				break
-			}
-			ps[j-1], ps[j] = b, a
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
 		}
+		return keys[i][1] < keys[j][1]
+	})
+	pairs := make([]nova.Pair, 0, len(keys))
+	for _, k := range keys {
+		pairs = append(pairs, nova.Pair{A: k[0], B: k[1], Weight: float64(counts[k])})
 	}
+	return pairs
 }
 
 // BuildEncoded substitutes the state codes into the transition table and

@@ -1,11 +1,23 @@
 #!/bin/sh
-# verify.sh — the repo's pre-merge gate. Runs the static checks, the full
-# test suite, and the race detector over the concurrency-sensitive
-# packages (the obs metrics registry is written from hot paths and read
-# by snapshot exporters; core drives it from the encoder).
+# verify.sh — the repo's pre-merge gate: the static checks (go vet plus
+# picolint, the determinism/tracing/error-handling analyzer suite in
+# internal/analysis), the full test suite, and the race detector over
+# every package.
 set -eux
 
 go vet ./...
 go build ./...
+
+# picolint must exit clean on the tree and must still catch each seeded
+# fixture violation (one positive fixture per analyzer) — a lint suite
+# that stops firing is worse than none.
+go run ./cmd/picolint ./...
+for a in detrange seedrand spanend dropperr tracenil; do
+  if go run ./cmd/picolint "./internal/analysis/testdata/src/$a" >/dev/null 2>&1; then
+    echo "picolint no longer flags the $a fixture" >&2
+    exit 1
+  fi
+done
+
 go test ./...
-go test -race ./internal/obs ./internal/core
+go test -race ./...
