@@ -14,6 +14,11 @@
 // cube evaluation. "optimal" is the exhaustive reference (≤ 8 symbols);
 // "all" grows the length until every constraint is satisfied.
 //
+// -j N bounds the encoders' internal parallel fan-out (the PICOLA
+// portfolio, ENC's candidate scoring, the evaluator); the default is
+// GOMAXPROCS and -j 1 reproduces the sequential execution — the output
+// is identical either way.
+//
 // Observability: -trace FILE streams structured JSONL span/event records
 // for every pipeline stage (restart, column, classify, guide, polish),
 // -metrics FILE writes the metrics-registry snapshot at exit, -cpuprofile
@@ -36,12 +41,20 @@ import (
 	"picola/internal/face"
 	"picola/internal/obs"
 	"picola/internal/optenc"
+	"picola/internal/par"
+)
+
+// jWorkers and memo are the shared -j fan-out width and the process-wide
+// minimization memo-cache, set in main before dispatch.
+var (
+	jWorkers = 1
+	memo     *eval.Cache
 )
 
 // run dispatches one encoder run; keyed by the -algo flag value.
 var algorithms = map[string]func(p *face.Problem, nv int, seed int64, tr obs.Tracer) (*face.Encoding, error){
 	"picola": func(p *face.Problem, nv int, seed int64, tr obs.Tracer) (*face.Encoding, error) {
-		r, err := core.Encode(p, core.Options{NV: nv, Trace: tr})
+		r, err := core.Encode(p, core.Options{NV: nv, Trace: tr, Workers: jWorkers, Cache: memo})
 		if err != nil {
 			return nil, err
 		}
@@ -51,7 +64,7 @@ var algorithms = map[string]func(p *face.Problem, nv int, seed int64, tr obs.Tra
 		return nova.Encode(p, nova.Options{Seed: seed, NV: nv})
 	},
 	"enc": func(p *face.Problem, nv int, seed int64, tr obs.Tracer) (*face.Encoding, error) {
-		r, err := enc.Encode(p, enc.Options{Seed: seed, NV: nv})
+		r, err := enc.Encode(p, enc.Options{Seed: seed, NV: nv, Workers: jWorkers, Cache: memo})
 		if err != nil {
 			return nil, err
 		}
@@ -70,7 +83,7 @@ var algorithms = map[string]func(p *face.Problem, nv int, seed int64, tr obs.Tra
 		return r.Encoding, nil
 	},
 	"all": func(p *face.Problem, nv int, seed int64, tr obs.Tracer) (*face.Encoding, error) {
-		r, err := core.EncodeAll(p, core.Options{Trace: tr})
+		r, err := core.EncodeAll(p, core.Options{Trace: tr, Workers: jWorkers, Cache: memo})
 		if err != nil {
 			return nil, err
 		}
@@ -94,10 +107,13 @@ func main() {
 	nv := flag.Int("nv", 0, "code length override (0 = minimum)")
 	seed := flag.Int64("seed", 1, "seed for the randomized encoders")
 	evaluate := flag.Bool("eval", true, "print the per-constraint cube evaluation")
+	jFlag := par.RegisterFlag(flag.CommandLine)
 	verbose := flag.Bool("v", false, "print a per-stage wall-clock summary to stderr")
 	var oc obs.Config
 	oc.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	jWorkers = par.Workers(*jFlag)
+	memo = eval.NewCache()
 
 	// Validate -algo before touching the input so a typo fails fast with
 	// the valid set instead of falling through mid-run.
@@ -134,7 +150,7 @@ func main() {
 		fmt.Printf("%-12s %s\n", p.Names[s], e.CodeString(s))
 	}
 	if *evaluate {
-		c, err := eval.Evaluate(p, e)
+		c, err := eval.Evaluate(p, e, eval.Options{Cache: memo, Workers: jWorkers})
 		if err != nil {
 			fatal(err)
 		}

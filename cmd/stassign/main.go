@@ -7,6 +7,11 @@
 //	stassign -pla out.pla machine.kiss also write the minimized PLA
 //	stassign -compare machine.kiss     compare all encoders
 //
+// -j N bounds the encoder's internal parallel fan-out (the PICOLA
+// portfolio, ENC's candidate scoring); the default is GOMAXPROCS and
+// -j 1 reproduces the sequential execution — the codes are identical
+// either way.
+//
 // Observability: -trace FILE streams the PICOLA encoder's structured
 // JSONL events, -metrics FILE writes the metrics snapshot at exit,
 // -cpuprofile/-memprofile write pprof profiles, and -v prints a per-stage
@@ -20,8 +25,10 @@ import (
 
 	"picola/internal/benchgen"
 	"picola/internal/blif"
+	"picola/internal/eval"
 	"picola/internal/kiss"
 	"picola/internal/obs"
+	"picola/internal/par"
 	"picola/internal/pla"
 	"picola/internal/stassign"
 	"picola/internal/statemin"
@@ -44,10 +51,13 @@ func main() {
 	compare := flag.Bool("compare", false, "run every encoder and compare")
 	reduce := flag.Bool("reduce", false, "merge compatible states before assignment")
 	seed := flag.Int64("seed", 1, "seed for the randomized encoders")
+	jFlag := par.RegisterFlag(flag.CommandLine)
 	verbose := flag.Bool("v", false, "print a per-stage wall-clock summary to stderr")
 	var oc obs.Config
 	oc.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	jWorkers := par.Workers(*jFlag)
+	memo := eval.NewCache()
 
 	session, err := oc.Start()
 	if err != nil {
@@ -78,7 +88,8 @@ func main() {
 	}
 	if *compare {
 		for _, name := range []string{"picola", "nova-ih", "nova-ioh", "enc", "natural"} {
-			rep, err := stassign.Assign(m, stassign.Options{Encoder: encoderNames[name], Seed: *seed})
+			rep, err := stassign.Assign(m, stassign.Options{Encoder: encoderNames[name], Seed: *seed,
+				Workers: jWorkers, Cache: memo})
 			if err != nil {
 				fatal(fmt.Errorf("%s: %w", name, err))
 			}
@@ -92,7 +103,8 @@ func main() {
 	if !ok {
 		fatal(fmt.Errorf("unknown encoder %q", *encName))
 	}
-	rep, err := stassign.Assign(m, stassign.Options{Encoder: encoder, Seed: *seed, Trace: session.Tracer})
+	rep, err := stassign.Assign(m, stassign.Options{Encoder: encoder, Seed: *seed, Trace: session.Tracer,
+		Workers: jWorkers, Cache: memo})
 	if err != nil {
 		fatal(err)
 	}

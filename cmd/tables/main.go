@@ -13,16 +13,28 @@
 // -json FILE additionally writes a machine-readable snapshot of the run
 // (per-benchmark cube counts / product terms and encode wall time, tables
 // 1 and 2) so BENCH_*.json trajectory files can be populated.
-// Observability: -trace, -metrics, -cpuprofile, -memprofile and -v as in
-// cmd/picola.
+//
+//	tables -diff OLD.json NEW.json
+//
+// compares two snapshots: per-row, per-encoder cube/product deltas (the
+// regression gate — they must be all zero) plus the aggregate wall-clock
+// speedup of NEW over OLD. A nonzero delta exits 1.
+//
+// -j N bounds the parallel fan-out (rows, encoders per row, and the
+// encoders' internal portfolio/scoring). The default is GOMAXPROCS;
+// -j 1 reproduces the sequential execution exactly, and the output is
+// byte-identical at every -j (timing columns aside, which are only
+// meaningful at -j 1). Observability: -trace, -metrics, -cpuprofile,
+// -memprofile and -v as in cmd/picola.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"sync"
+	"sort"
 	"time"
 
 	"picola/internal/baseline/enc"
@@ -31,6 +43,7 @@ import (
 	"picola/internal/core"
 	"picola/internal/eval"
 	"picola/internal/obs"
+	"picola/internal/par"
 	"picola/internal/power"
 	"picola/internal/report"
 	"picola/internal/stassign"
@@ -42,9 +55,10 @@ func main() {
 	only := flag.String("fsm", "", "restrict to one benchmark by name")
 	seed := flag.Int64("seed", 1, "seed for the randomized baselines")
 	encBudget := flag.Int("encbudget", 40000, "ENC espresso-evaluation budget (table 1)")
-	workers := flag.Int("workers", 1, "benchmarks evaluated concurrently (timing columns are only meaningful at 1)")
+	jFlag := par.RegisterFlag(flag.CommandLine)
 	formatName := flag.String("format", "text", "output format: text, md or csv")
 	jsonOut := flag.String("json", "", "write a machine-readable benchmark snapshot to `FILE` (tables 1 and 2)")
+	diffMode := flag.Bool("diff", false, "compare two -json snapshots given as `OLD NEW` arguments and report cube/product deltas")
 	verbose := flag.Bool("v", false, "print a per-stage wall-clock summary to stderr")
 	var oc obs.Config
 	oc.RegisterFlags(flag.CommandLine)
@@ -55,10 +69,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tables:", ferr)
 		os.Exit(2)
 	}
-	maxWorkers = *workers
-	if maxWorkers < 1 {
-		maxWorkers = 1
-	}
+	jWorkers = par.Workers(*jFlag)
+	memo = eval.NewCache()
 	session, serr := oc.Start()
 	if serr != nil {
 		fmt.Fprintln(os.Stderr, "tables:", serr)
@@ -67,14 +79,20 @@ func main() {
 	tracer = session.Tracer
 	var err error
 	var snap *benchSnapshot
-	switch *table {
-	case 1:
+	switch {
+	case *diffMode:
+		if flag.NArg() != 2 {
+			err = fmt.Errorf("-diff needs exactly two snapshot files: tables -diff OLD.json NEW.json")
+		} else {
+			err = diffSnapshots(os.Stdout, flag.Arg(0), flag.Arg(1))
+		}
+	case *table == 1:
 		snap, err = table1(*only, *seed, *encBudget)
-	case 2:
+	case *table == 2:
 		snap, err = table2(*only, *seed)
-	case 3:
+	case *table == 3:
 		err = table3(*only)
-	case 4:
+	case *table == 4:
 		err = table4(*only)
 	default:
 		err = fmt.Errorf("unknown table %d", *table)
@@ -157,39 +175,55 @@ func table1Compute(spec benchgen.Spec, seed int64, encBudget int) (*table1Row, e
 		return nil, fmt.Errorf("%s: %w", spec.Name, err)
 	}
 	row := &table1Row{name: spec.Name, constraints: len(prob.Constraints)}
-
-	t0 := time.Now()
-	novaEnc, err := nova.Encode(prob, nova.Options{Variant: nova.IHybrid, Seed: seed})
-	if err != nil {
-		return nil, fmt.Errorf("%s nova: %w", spec.Name, err)
-	}
-	row.tNova = time.Since(t0)
-	novaCost, err := eval.Evaluate(prob, novaEnc)
+	evalOpts := eval.Options{Cache: memo, Workers: jWorkers}
+	// The three encoders are independent given the extracted problem and
+	// each writes disjoint fields of row, so they fan out as one unit per
+	// encoder. Under -j > 1 the wall-time columns overlap and are only
+	// meaningful relative to each other within one run.
+	_, err = par.Map(3, jWorkers, func(k int) (struct{}, error) {
+		var z struct{}
+		switch k {
+		case 0:
+			t0 := time.Now()
+			novaEnc, err := nova.Encode(prob, nova.Options{Variant: nova.IHybrid, Seed: seed})
+			if err != nil {
+				return z, fmt.Errorf("%s nova: %w", spec.Name, err)
+			}
+			row.tNova = time.Since(t0)
+			novaCost, err := eval.Evaluate(prob, novaEnc, evalOpts)
+			if err != nil {
+				return z, err
+			}
+			row.novaCubes = novaCost.Total
+		case 1:
+			t0 := time.Now()
+			encRes, err := enc.Encode(prob, enc.Options{
+				Seed: seed, Budget: encBudget, Workers: jWorkers, Cache: memo})
+			if err != nil {
+				return z, fmt.Errorf("%s enc: %w", spec.Name, err)
+			}
+			row.tEnc = time.Since(t0)
+			row.encCubes = encRes.Cost
+			row.encCompleted = encRes.Completed
+		case 2:
+			t0 := time.Now()
+			picRes, err := core.Encode(prob, core.Options{
+				Trace: tracer, Workers: jWorkers, Cache: memo})
+			if err != nil {
+				return z, fmt.Errorf("%s picola: %w", spec.Name, err)
+			}
+			row.tPic = time.Since(t0)
+			picCost, err := eval.Evaluate(prob, picRes.Encoding, evalOpts)
+			if err != nil {
+				return z, err
+			}
+			row.picCubes = picCost.Total
+		}
+		return z, nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	row.novaCubes = novaCost.Total
-
-	t0 = time.Now()
-	encRes, err := enc.Encode(prob, enc.Options{Seed: seed, Budget: encBudget})
-	if err != nil {
-		return nil, fmt.Errorf("%s enc: %w", spec.Name, err)
-	}
-	row.tEnc = time.Since(t0)
-	row.encCubes = encRes.Cost
-	row.encCompleted = encRes.Completed
-
-	t0 = time.Now()
-	picRes, err := core.Encode(prob, core.Options{Trace: tracer})
-	if err != nil {
-		return nil, fmt.Errorf("%s picola: %w", spec.Name, err)
-	}
-	row.tPic = time.Since(t0)
-	picCost, err := eval.Evaluate(prob, picRes.Encoding)
-	if err != nil {
-		return nil, err
-	}
-	row.picCubes = picCost.Total
 	return row, nil
 }
 
@@ -258,38 +292,67 @@ func table1(only string, seed int64, encBudget int) (*benchSnapshot, error) {
 	return snap, tab.Render(os.Stdout, outFormat)
 }
 
+// table2Row is one benchmark's three state-assignment runs.
+type table2Row struct {
+	name   string
+	states int
+	ih     *stassign.Report
+	ioh    *stassign.Report
+	neu    *stassign.Report
+}
+
+func table2Compute(spec benchgen.Spec, seed int64) (*table2Row, error) {
+	m := benchgen.Generate(spec)
+	// The three assignments only share the machine, which they read; fan
+	// them out one unit per encoder.
+	encoders := []stassign.Encoder{stassign.NovaIH, stassign.NovaIOH, stassign.Picola}
+	reps, err := par.Map(len(encoders), jWorkers, func(k int) (*stassign.Report, error) {
+		o := stassign.Options{Encoder: encoders[k], Seed: seed, Workers: jWorkers, Cache: memo}
+		if encoders[k] == stassign.Picola {
+			o.Trace = tracer
+		}
+		rep, err := stassign.Assign(m, o)
+		if err != nil {
+			return nil, fmt.Errorf("%s %s: %w", spec.Name, encoders[k], err)
+		}
+		return rep, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &table2Row{name: spec.Name, states: m.NumStates(),
+		ih: reps[0], ioh: reps[1], neu: reps[2]}, nil
+}
+
 func table2(only string, seed int64) (*benchSnapshot, error) {
 	tab := &report.Table{
 		Title:  "Table II — state assignment: two-level size and time, normalized to NOVA-ih",
 		Header: []string{"FSM", "ih", "t", "ioh", "t", "NEW", "t"},
 	}
+	var specs []benchgen.Spec
+	for _, spec := range benchgen.Table2Specs() {
+		if only == "" || spec.Name == only {
+			specs = append(specs, spec)
+		}
+	}
+	rows, err := forEach(specs, func(spec benchgen.Spec) (*table2Row, error) {
+		return table2Compute(spec, seed)
+	})
+	if err != nil {
+		return nil, err
+	}
 	snap := &benchSnapshot{Schema: "picola-bench/v1", Table: 2}
 	var totIH, totIOH, totNew int
-	for _, spec := range benchgen.Table2Specs() {
-		if only != "" && spec.Name != only {
-			continue
-		}
-		m := benchgen.Generate(spec)
-		ih, err := stassign.Assign(m, stassign.Options{Encoder: stassign.NovaIH, Seed: seed})
-		if err != nil {
-			return nil, fmt.Errorf("%s ih: %w", spec.Name, err)
-		}
-		ioh, err := stassign.Assign(m, stassign.Options{Encoder: stassign.NovaIOH, Seed: seed})
-		if err != nil {
-			return nil, fmt.Errorf("%s ioh: %w", spec.Name, err)
-		}
-		neu, err := stassign.Assign(m, stassign.Options{Encoder: stassign.Picola, Seed: seed, Trace: tracer})
-		if err != nil {
-			return nil, fmt.Errorf("%s new: %w", spec.Name, err)
-		}
+	for _, row := range rows {
+		ih, ioh, neu := row.ih, row.ioh, row.neu
 		base := ih.TotalTime
-		tab.Add(spec.Name,
+		tab.Add(row.name,
 			fmt.Sprint(ih.Products), "1.00",
 			fmt.Sprint(ioh.Products), fmt.Sprintf("%.2f", timeRatio(ioh.TotalTime, base)),
 			fmt.Sprint(neu.Products), fmt.Sprintf("%.2f", timeRatio(neu.TotalTime, base)))
 		snap.Rows = append(snap.Rows, benchRow{
-			FSM:    spec.Name,
-			States: m.NumStates(),
+			FSM:    row.name,
+			States: row.states,
 			Encoders: map[string]benchStat{
 				"nova-ih":  {Products: ih.Products, WallNS: int64(ih.TotalTime)},
 				"nova-ioh": {Products: ioh.Products, WallNS: int64(ioh.TotalTime)},
@@ -346,7 +409,7 @@ func table3(only string) error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
-		full, err := core.EncodeAll(prob)
+		full, err := core.EncodeAll(prob, core.Options{Workers: jWorkers, Cache: memo})
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
@@ -356,7 +419,7 @@ func table3(only string) error {
 			if nv == maxNV {
 				r = full
 			} else {
-				r, err = core.Encode(prob, core.Options{NV: nv})
+				r, err = core.Encode(prob, core.Options{NV: nv, Workers: jWorkers, Cache: memo})
 				if err != nil {
 					return fmt.Errorf("%s nv=%d: %w", name, nv, err)
 				}
@@ -371,7 +434,7 @@ func table3(only string) error {
 			// is only cheap at narrow code spaces; wider rows print "-".
 			cubesCol := "-"
 			if nv <= 11 {
-				cost, err := eval.Evaluate(prob, r.Encoding)
+				cost, err := eval.Evaluate(prob, r.Encoding, eval.Options{Cache: memo, Workers: jWorkers})
 				if err != nil {
 					return err
 				}
@@ -401,35 +464,123 @@ func table3(only string) error {
 	return nil
 }
 
-// maxWorkers is set from the -workers flag; outFormat from -format.
+// jWorkers is set from the shared -j flag; memo is the process-wide
+// minimization memo-cache every encoder and evaluator run shares
+// (memoized counts are pure functions of their key, so sharing never
+// changes a result); outFormat from -format.
 var (
-	maxWorkers = 1
-	outFormat  = report.Text
+	jWorkers  = 1
+	memo      *eval.Cache
+	outFormat = report.Text
 )
 
-// forEach maps fn over the specs, up to maxWorkers concurrently, and
-// returns the results in input order. The first error wins.
+// forEach maps fn over the specs, up to -j concurrently, and returns the
+// results in input order with the lowest-index error winning — the
+// deterministic row fan-out of the harness.
 func forEach[T any](specs []benchgen.Spec, fn func(benchgen.Spec) (T, error)) ([]T, error) {
-	results := make([]T, len(specs))
-	errs := make([]error, len(specs))
-	sem := make(chan struct{}, maxWorkers)
-	var wg sync.WaitGroup
-	for i, spec := range specs {
-		wg.Add(1)
-		go func(i int, spec benchgen.Spec) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			results[i], errs[i] = fn(spec)
-		}(i, spec)
+	return par.Map(len(specs), jWorkers, func(i int) (T, error) {
+		return fn(specs[i])
+	})
+}
+
+// readSnapshot loads and sanity-checks a -json benchmark snapshot.
+func readSnapshot(path string) (*benchSnapshot, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+	var snap benchSnapshot
+	if err := json.Unmarshal(b, &snap); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if snap.Schema != "picola-bench/v1" {
+		return nil, fmt.Errorf("%s: unsupported schema %q", path, snap.Schema)
+	}
+	return &snap, nil
+}
+
+// diffSnapshots compares two -json snapshots of the same table. Quality
+// metrics (cubes, products) are the regression gate: any per-row,
+// per-encoder delta is reported and makes the diff fail. Wall times are
+// expected to move — the summary line reports the aggregate speedup of
+// new over old instead. Rows pair by FSM name in the old snapshot's
+// order; encoders print in sorted-name order.
+func diffSnapshots(w io.Writer, oldPath, newPath string) error {
+	oldSnap, err := readSnapshot(oldPath)
+	if err != nil {
+		return err
+	}
+	newSnap, err := readSnapshot(newPath)
+	if err != nil {
+		return err
+	}
+	if oldSnap.Table != newSnap.Table {
+		return fmt.Errorf("snapshots are of different tables: %d vs %d", oldSnap.Table, newSnap.Table)
+	}
+	newRows := make(map[string]benchRow, len(newSnap.Rows))
+	for _, r := range newSnap.Rows {
+		newRows[r.FSM] = r
+	}
+	var oldWall, newWall int64
+	stats, mismatches := 0, 0
+	for _, or := range oldSnap.Rows {
+		nr, ok := newRows[or.FSM]
+		if !ok {
+			fmt.Fprintf(w, "%-12s missing from %s\n", or.FSM, newPath)
+			mismatches++
+			continue
+		}
+		delete(newRows, or.FSM)
+		names := make([]string, 0, len(or.Encoders))
+		for name := range or.Encoders {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			ns, ok := nr.Encoders[name]
+			if !ok {
+				fmt.Fprintf(w, "%-12s %-10s missing from %s\n", or.FSM, name, newPath)
+				mismatches++
+				continue
+			}
+			os1 := or.Encoders[name]
+			stats++
+			oldWall += os1.WallNS
+			newWall += ns.WallNS
+			if dc, dp := ns.Cubes-os1.Cubes, ns.Products-os1.Products; dc != 0 || dp != 0 {
+				fmt.Fprintf(w, "%-12s %-10s cubes %d -> %d (%+d)  products %d -> %d (%+d)\n",
+					or.FSM, name, os1.Cubes, ns.Cubes, dc, os1.Products, ns.Products, dp)
+				mismatches++
+			}
+		}
+		for name := range nr.Encoders {
+			if _, ok := or.Encoders[name]; !ok {
+				fmt.Fprintf(w, "%-12s %-10s only in %s\n", or.FSM, name, newPath)
+				mismatches++
+			}
 		}
 	}
-	return results, nil
+	extra := make([]string, 0, len(newRows))
+	for fsm := range newRows {
+		extra = append(extra, fsm)
+	}
+	sort.Strings(extra)
+	for _, fsm := range extra {
+		fmt.Fprintf(w, "%-12s only in %s\n", fsm, newPath)
+		mismatches++
+	}
+	fmt.Fprintf(w, "table %d: %d rows, %d measurements compared, %d mismatches\n",
+		oldSnap.Table, len(oldSnap.Rows), stats, mismatches)
+	if newWall > 0 {
+		fmt.Fprintf(w, "wall: old=%v new=%v speedup=%.2fx\n",
+			time.Duration(oldWall).Round(time.Millisecond),
+			time.Duration(newWall).Round(time.Millisecond),
+			float64(oldWall)/float64(newWall))
+	}
+	if mismatches > 0 {
+		return fmt.Errorf("%d mismatch(es) between %s and %s", mismatches, oldPath, newPath)
+	}
+	return nil
 }
 
 // table4 is the power extension experiment: the switching activity of the
@@ -456,7 +607,8 @@ func table4(only string) error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
-		rep, err := stassign.Assign(m, stassign.Options{Encoder: stassign.Picola})
+		rep, err := stassign.Assign(m, stassign.Options{Encoder: stassign.Picola,
+			Workers: jWorkers, Cache: memo})
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}

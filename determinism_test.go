@@ -6,6 +6,8 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"runtime"
+	"strconv"
 	"testing"
 
 	"picola/internal/benchgen"
@@ -22,6 +24,14 @@ import (
 // evaluation, and the minimized encoded machine. Any order dependence
 // anywhere in the pipeline shows up as a fingerprint difference.
 func pipelineFingerprint(t *testing.T, name string) []byte {
+	return pipelineFingerprintAt(t, name, 1, nil)
+}
+
+// pipelineFingerprintAt is pipelineFingerprint with the parallel
+// execution layer dialed in: workers bounds the encoder and evaluator
+// fan-out, cache (optionally shared across calls) memoizes constraint
+// minimizations. The fingerprint must not depend on either.
+func pipelineFingerprintAt(t *testing.T, name string, workers int, cache *eval.Cache) []byte {
 	t.Helper()
 	spec, ok := benchgen.ByName(name)
 	if !ok {
@@ -34,12 +44,12 @@ func pipelineFingerprint(t *testing.T, name string) []byte {
 	}
 	var buf bytes.Buffer
 	buf.WriteString(prob.String())
-	r, err := core.Encode(prob)
+	r, err := core.Encode(prob, core.Options{Workers: workers, Cache: cache})
 	if err != nil {
 		t.Fatal(err)
 	}
 	buf.WriteString(r.Encoding.String())
-	cost, err := eval.Evaluate(prob, r.Encoding)
+	cost, err := eval.Evaluate(prob, r.Encoding, eval.Options{Workers: workers, Cache: cache})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,6 +73,23 @@ func TestPipelineDeterminism(t *testing.T) {
 		b := pipelineFingerprint(t, name)
 		if !bytes.Equal(a, b) {
 			t.Errorf("%s: two pipeline runs differ:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", name, a, b)
+		}
+	}
+}
+
+// TestParallelPipelineDeterminism pins the contract of the parallel
+// execution layer: the full pipeline at full fan-out with a shared
+// memo-cache is byte-identical to the sequential uncached run. Workers
+// and Cache are pure accelerators — any divergence is a bug.
+func TestParallelPipelineDeterminism(t *testing.T) {
+	workers := runtime.GOMAXPROCS(0)
+	cache := eval.NewCache()
+	for _, name := range []string{"bbara", "dk14", "opus", "ex3"} {
+		seq := pipelineFingerprintAt(t, name, 1, nil)
+		fan := pipelineFingerprintAt(t, name, workers, cache)
+		if !bytes.Equal(seq, fan) {
+			t.Errorf("%s: workers=%d+cache differs from sequential:\n--- sequential ---\n%s\n--- parallel ---\n%s",
+				name, workers, seq, fan)
 		}
 	}
 }
@@ -108,25 +135,51 @@ func TestTablesJSONDeterminism(t *testing.T) {
 	if err != nil {
 		t.Skip("go toolchain not on PATH")
 	}
-	run := func() []byte {
-		cmd := exec.Command(goBin, "run", "./cmd/tables", "-table", "1", "-fsm", "bbara", "-json", "-")
-		var out, stderr bytes.Buffer
-		cmd.Stdout = &out
-		cmd.Stderr = &stderr
-		if err := cmd.Run(); err != nil {
-			t.Fatalf("tables run: %v\n%s", err, stderr.String())
-		}
-		// stdout carries the rendered table then the JSON snapshot; the
-		// snapshot starts at the first '{'.
-		i := bytes.IndexByte(out.Bytes(), '{')
-		if i < 0 {
-			t.Fatalf("no JSON snapshot in output:\n%s", out.String())
-		}
-		return canonicalizeSnapshot(t, out.Bytes()[i:])
-	}
+	run := func() []byte { return tablesSnapshot(t, goBin, 1) }
 	if a, b := run(), run(); !bytes.Equal(a, b) {
 		t.Errorf("two cmd/tables runs differ:\n%s\nvs\n%s", a, b)
 	}
+}
+
+// TestTablesJSONWorkerDeterminism runs the real cmd/tables binary at
+// -j 1 and at -j GOMAXPROCS in separate processes and asserts the -json
+// snapshots are byte-identical after wall_ns canonicalization: the -j
+// flag must never change a measured result, only how fast it arrives.
+func TestTablesJSONWorkerDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go run twice")
+	}
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	seq := tablesSnapshot(t, goBin, 1)
+	fan := tablesSnapshot(t, goBin, runtime.GOMAXPROCS(0))
+	if !bytes.Equal(seq, fan) {
+		t.Errorf("-j 1 and -j %d snapshots differ:\n%s\nvs\n%s",
+			runtime.GOMAXPROCS(0), seq, fan)
+	}
+}
+
+// tablesSnapshot runs cmd/tables -table 1 -fsm bbara -json - at the
+// given worker count and returns the canonicalized snapshot bytes.
+func tablesSnapshot(t *testing.T, goBin string, j int) []byte {
+	t.Helper()
+	cmd := exec.Command(goBin, "run", "./cmd/tables",
+		"-table", "1", "-fsm", "bbara", "-j", strconv.Itoa(j), "-json", "-")
+	var out, stderr bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("tables run: %v\n%s", err, stderr.String())
+	}
+	// stdout carries the rendered table then the JSON snapshot; the
+	// snapshot starts at the first '{'.
+	i := bytes.IndexByte(out.Bytes(), '{')
+	if i < 0 {
+		t.Fatalf("no JSON snapshot in output:\n%s", out.String())
+	}
+	return canonicalizeSnapshot(t, out.Bytes()[i:])
 }
 
 // canonicalizeSnapshot zeroes every wall_ns in a picola-bench snapshot

@@ -17,6 +17,7 @@ import (
 	"picola/internal/baseline/nova"
 	"picola/internal/eval"
 	"picola/internal/face"
+	"picola/internal/par"
 )
 
 // Options tune the search.
@@ -25,10 +26,21 @@ type Options struct {
 	Seed int64
 	// Budget bounds the number of espresso constraint minimizations; 0
 	// means the default (200000). When the budget runs out before the
-	// search converges, Result.Completed is false.
+	// search converges, Result.Completed is false. Budget counts
+	// evaluation requests — a memo-cache hit consumes budget like a miss
+	// — so the search trajectory is independent of Cache and Workers.
 	Budget int
 	// NV overrides the code length; 0 means the problem's minimum.
 	NV int
+	// Workers fans the independent candidate minimizations of one move
+	// out over the par pool; ≤ 1 evaluates sequentially. Results are
+	// identical at every worker count.
+	Workers int
+	// Cache memoizes the constraint minimizations (nil = none). ENC
+	// revisits the same constraint functions constantly — every reverted
+	// swap re-evaluates positions seen before — so the cache removes
+	// espresso runs without altering any answer.
+	Cache *eval.Cache
 }
 
 // Result is the outcome of an ENC run.
@@ -45,14 +57,16 @@ type Result struct {
 // searcher caches per-constraint exact costs plus supercube geometry so a
 // swap only re-minimizes the constraints it can affect.
 type searcher struct {
-	p      *face.Problem
-	enc    *face.Encoding
-	mask   uint64
-	cost   []int
-	agree  []uint64
-	vals   []uint64
-	budget int
-	evals  int
+	p       *face.Problem
+	enc     *face.Encoding
+	mask    uint64
+	cost    []int
+	agree   []uint64
+	vals    []uint64
+	budget  int
+	evals   int
+	workers int
+	cache   *eval.Cache
 }
 
 func (s *searcher) geom(i int) {
@@ -67,13 +81,50 @@ func (s *searcher) geom(i int) {
 }
 
 func (s *searcher) minimize(i int) error {
-	k, err := eval.ConstraintCubesHeuristic(s.enc, s.p.Constraints[i])
+	k, err := s.cache.ConstraintCubesHeuristic(s.enc, s.p.Constraints[i])
 	if err != nil {
 		return err
 	}
 	s.evals++
 	s.cost[i] = k
 	return nil
+}
+
+// rescore refreshes the geometry and cost of the touched constraints
+// after a swap, charging one budget unit each. When strictly more budget
+// remains than constraints touched, the minimizations fan out over the
+// pool: the sequential loop's mid-loop break can only fire on budget
+// exhaustion, which the guard rules out, so the parallel path follows
+// the exact sequential trajectory. Near the budget edge it stays
+// sequential and reports exhausted exactly like the original loop.
+func (s *searcher) rescore(touched []int, oldTotal int) (newTotal int, exhausted bool, err error) {
+	if s.workers > 1 && s.evals+len(touched) < s.budget {
+		costs, err := par.Map(len(touched), s.workers, func(j int) (int, error) {
+			i := touched[j]
+			s.geom(i)
+			return s.cache.ConstraintCubesHeuristic(s.enc, s.p.Constraints[i])
+		})
+		if err != nil {
+			return 0, false, err
+		}
+		s.evals += len(touched)
+		for j, i := range touched {
+			s.cost[i] = costs[j]
+			newTotal += costs[j]
+		}
+		return newTotal, false, nil
+	}
+	for _, i := range touched {
+		s.geom(i)
+		if err := s.minimize(i); err != nil {
+			return 0, false, err
+		}
+		newTotal += s.cost[i]
+		if s.evals >= s.budget && newTotal >= oldTotal {
+			return newTotal, true, nil
+		}
+	}
+	return newTotal, false, nil
 }
 
 func (s *searcher) total() int {
@@ -119,7 +170,7 @@ func Encode(p *face.Problem, o Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &searcher{p: p, enc: e, budget: budget}
+	s := &searcher{p: p, enc: e, budget: budget, workers: o.Workers, cache: o.Cache}
 	s.mask = uint64(1)<<uint(nv) - 1
 	if nv == 64 {
 		s.mask = ^uint64(0)
@@ -128,12 +179,20 @@ func Encode(p *face.Problem, o Options) (*Result, error) {
 	s.cost = make([]int, r)
 	s.agree = make([]uint64, r)
 	s.vals = make([]uint64, r)
-	for i := 0; i < r; i++ {
+	// The initial costs are independent: fan them out, charging the same
+	// r budget units the sequential loop would.
+	if _, err := par.Map(r, s.workers, func(i int) (int, error) {
 		s.geom(i)
-		if err := s.minimize(i); err != nil {
-			return nil, err
+		k, err := s.cache.ConstraintCubesHeuristic(s.enc, s.p.Constraints[i])
+		if err != nil {
+			return 0, err
 		}
+		s.cost[i] = k
+		return 0, nil
+	}); err != nil {
+		return nil, err
 	}
+	s.evals += r
 	rng := rand.New(rand.NewSource(o.Seed + 7))
 	completed := false
 	// First-improvement hill climbing over code swaps, random sweep order,
@@ -166,18 +225,9 @@ func Encode(p *face.Problem, o Options) (*Result, error) {
 				oldTotal += s.cost[i]
 			}
 			e.Codes[a], e.Codes[b] = e.Codes[b], e.Codes[a]
-			newTotal := 0
-			failed := false
-			for _, i := range touched {
-				s.geom(i)
-				if err := s.minimize(i); err != nil {
-					return nil, err
-				}
-				newTotal += s.cost[i]
-				if s.evals >= s.budget && newTotal >= oldTotal {
-					failed = true
-					break
-				}
+			newTotal, failed, err := s.rescore(touched, oldTotal)
+			if err != nil {
+				return nil, err
 			}
 			if failed || newTotal >= oldTotal {
 				// Revert.

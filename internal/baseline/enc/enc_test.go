@@ -78,6 +78,45 @@ func TestBudgetExhaustionReported(t *testing.T) {
 	}
 }
 
+// TestParallelCachedTrajectoryIdentical: Workers and Cache are pure
+// accelerators — the search trajectory (budget counts evaluation
+// requests, hits included) and therefore the encoding, cost, completion
+// flag and evaluation count must be bit-identical to the sequential
+// uncached run. The tiny-budget case exercises the sequential
+// budget-edge fallback inside rescore.
+func TestParallelCachedTrajectoryIdentical(t *testing.T) {
+	p := &face.Problem{Names: make([]string, 16)}
+	p.AddConstraint(face.FromMembers(16, 0, 1, 2, 3, 4))
+	p.AddConstraint(face.FromMembers(16, 5, 6, 7, 8))
+	p.AddConstraint(face.FromMembers(16, 9, 10, 11))
+	p.AddConstraint(face.FromMembers(16, 12, 13))
+	p.AddConstraint(face.FromMembers(16, 1, 5, 9))
+	for _, budget := range []int{0, 25, 300} {
+		seq, err := Encode(p, Options{Seed: 3, Budget: budget})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 8} {
+			got, err := Encode(p, Options{Seed: 3, Budget: budget,
+				Workers: workers, Cache: eval.NewCache()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for s := range seq.Encoding.Codes {
+				if got.Encoding.Codes[s] != seq.Encoding.Codes[s] {
+					t.Fatalf("budget=%d workers=%d: codes differ at symbol %d", budget, workers, s)
+				}
+			}
+			if got.Cost != seq.Cost || got.Completed != seq.Completed ||
+				got.Evaluations != seq.Evaluations {
+				t.Fatalf("budget=%d workers=%d: stats (%d,%v,%d) differ from sequential (%d,%v,%d)",
+					budget, workers, got.Cost, got.Completed, got.Evaluations,
+					seq.Cost, seq.Completed, seq.Evaluations)
+			}
+		}
+	}
+}
+
 func TestDeterministicForSeed(t *testing.T) {
 	p := smallProblem()
 	a, err := Encode(p, Options{Seed: 5})

@@ -26,6 +26,7 @@ import (
 	"picola/internal/eval"
 	"picola/internal/face"
 	"picola/internal/obs"
+	"picola/internal/par"
 )
 
 // Hot-path metrics (atomic; pointers cached so no lookup on the hot path).
@@ -82,6 +83,16 @@ type Options struct {
 	// weight and start-column perturbations); the best by cube estimate is
 	// kept. 0 means the default 4, 1 disables the portfolio.
 	Restarts int
+	// Workers bounds how many portfolio variants run concurrently; ≤ 1
+	// runs the portfolio sequentially. The variants are independent and
+	// the winner is selected by (score, variant index) in index order, so
+	// the result is identical at every worker count.
+	Workers int
+	// Cache memoizes the exact constraint minimizations of the variant
+	// scoring and the exact-cost polish (nil = no memoization). Cached
+	// counts are a pure function of the minimization input, so sharing a
+	// cache across runs never changes a result.
+	Cache *eval.Cache
 	// Trace receives structured span/event records for every pipeline
 	// stage (restart, column, classify, guide, polish, exact-polish). Nil
 	// means tracing is off and costs nothing.
@@ -214,11 +225,7 @@ func Encode(p *face.Problem, opts ...Options) (*Result, error) {
 		return nil, fmt.Errorf("core: code length %d exceeds 64", nv)
 	}
 	mEncodes.Inc()
-	// Small problems afford exact scoring of the portfolio variants (the
-	// evaluator is a fast Quine–McCluskey at minimum lengths); larger ones
-	// use the espresso-free estimate.
-	exactSelect := n <= 40 && nv <= 7 && o.ExactPolishBudget > 0
-	best, bestScore, bestVariant, err := runPortfolio(p, o, nv, exactSelect)
+	best, bestScore, bestVariant, err := runPortfolio(p, o, nv, o.affordsExactCost(n, nv))
 	if err != nil {
 		return nil, err
 	}
@@ -233,7 +240,7 @@ func Encode(p *face.Problem, opts ...Options) (*Result, error) {
 	if !o.DisablePolish && n <= o.PolishMaxSymbols {
 		best.polish(20)
 	}
-	if !o.DisablePolish && n <= 40 && nv <= 7 && o.ExactPolishBudget > 0 {
+	if !o.DisablePolish && o.affordsExactCost(n, nv) {
 		if err := best.exactPolish(o.ExactPolishBudget); err != nil {
 			return nil, err
 		}
@@ -246,14 +253,30 @@ func Encode(p *face.Problem, opts ...Options) (*Result, error) {
 	return r, nil
 }
 
+// affordsExactCost reports whether the problem is small enough to score
+// encodings by the exact minimized cube count: the portfolio's variant
+// selection and the final exact-cost swap polish both use it. The bound
+// (≤ 40 symbols at ≤ 7 columns, with a positive evaluation budget) keeps
+// the Quine–McCluskey evaluator's cost negligible next to column
+// generation; anything larger falls back to the espresso-free estimate.
+func (o Options) affordsExactCost(n, nv int) bool {
+	return n <= 40 && nv <= 7 && o.ExactPolishBudget > 0
+}
+
 // runPortfolio tries the deterministic portfolio of column-generation
 // variants and returns the best encoder by the selection score (exact
 // constraint cubes when affordable, the cost-model estimate otherwise).
+// The variants are independent, so up to o.Workers of them run
+// concurrently; the reduction walks the ordered results and keeps the
+// lowest-scoring variant, ties to the smaller index — exactly the
+// sequential selection, whatever the completion order.
 func runPortfolio(p *face.Problem, o Options, nv int, exactSelect bool) (*encoder, int, int, error) {
 	defer tPortfolio.Start()()
-	var best *encoder
-	bestScore, bestVariant := 0, 0
-	for v := 0; v < o.Restarts; v++ {
+	type variantRun struct {
+		e     *encoder
+		score int
+	}
+	runs, err := par.Map(o.Restarts, o.Workers, func(v int) (variantRun, error) {
 		vo := o
 		switch v {
 		case 1:
@@ -266,9 +289,9 @@ func runPortfolio(p *face.Problem, o Options, nv int, exactSelect bool) (*encode
 		score := 0
 		if exactSelect {
 			for i, c := range p.Constraints {
-				k, err := eval.ConstraintCubes(e.enc, c)
+				k, err := o.Cache.ConstraintCubes(e.enc, c)
 				if err != nil {
-					return nil, 0, 0, err
+					return variantRun{}, err
 				}
 				score += p.Weight(i) * k
 			}
@@ -289,8 +312,15 @@ func runPortfolio(p *face.Problem, o Options, nv int, exactSelect bool) (*encode
 					"score":        float64(score),
 				}})
 		}
-		if best == nil || score < bestScore {
-			best, bestScore, bestVariant = e, score, v
+		return variantRun{e: e, score: score}, nil
+	})
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	best, bestScore, bestVariant := runs[0].e, runs[0].score, 0
+	for v := 1; v < len(runs); v++ {
+		if runs[v].score < bestScore {
+			best, bestScore, bestVariant = runs[v].e, runs[v].score, v
 		}
 	}
 	return best, bestScore, bestVariant, nil
@@ -362,7 +392,7 @@ func (e *encoder) exactPolish(budget int) error {
 	ps := &polishState{e: e, budget: budget}
 	ps.cost = make([]int, r)
 	for i, c := range e.p.Constraints {
-		k, err := eval.ConstraintCubes(e.enc, c)
+		k, err := e.exactCubes(c)
 		if err != nil {
 			return err
 		}
@@ -420,6 +450,15 @@ func (e *encoder) exactPolish(budget int) error {
 	return nil
 }
 
+// exactCubes is the exact-cost evaluator of the polish and selection
+// passes: the memoized ConstraintCubes when Options.Cache is set, the
+// direct minimizer otherwise. Evaluation budgets count requests, not
+// minimizer runs, so a cache hit and a miss consume budget identically
+// and the search trajectory is independent of the cache.
+func (e *encoder) exactCubes(c face.Constraint) (int, error) {
+	return e.opts.Cache.ConstraintCubes(e.enc, c)
+}
+
 // polishState carries the exact-polish bookkeeping.
 type polishState struct {
 	e        *encoder
@@ -461,7 +500,7 @@ func (ps *polishState) swapDelta(a, b int, idx []int) (int, []int, error) {
 	d := 0
 	newCost := make([]int, len(idx))
 	for j, i := range idx {
-		k, err := eval.ConstraintCubes(ps.e.enc, ps.e.p.Constraints[i])
+		k, err := ps.e.exactCubes(ps.e.p.Constraints[i])
 		if err != nil {
 			return 0, nil, err
 		}
@@ -491,7 +530,7 @@ func (ps *polishState) descend() error {
 				newCost := make([]int, r)
 				var err error
 				for i := range e.p.Constraints {
-					newCost[i], err = eval.ConstraintCubes(e.enc, e.p.Constraints[i])
+					newCost[i], err = e.exactCubes(e.p.Constraints[i])
 					if err != nil {
 						return err
 					}

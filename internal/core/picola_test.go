@@ -322,6 +322,54 @@ func TestDeterminism(t *testing.T) {
 	}
 }
 
+// TestParallelPortfolioDeterminism: the parallel portfolio with a shared
+// memo-cache must return bit-identical encodings and diagnostics to the
+// sequential, uncached run — the (score, variant index) reduction makes
+// the winner independent of completion order, and cached minimizations
+// are pure functions of their input.
+func TestParallelPortfolioDeterminism(t *testing.T) {
+	r := rand.New(rand.NewSource(67))
+	cache := eval.NewCache()
+	problems := []*face.Problem{paperProblem()}
+	for trial := 0; trial < 12; trial++ {
+		n := 4 + r.Intn(28)
+		p := &face.Problem{Names: make([]string, n)}
+		for k := 0; k < 1+r.Intn(8); k++ {
+			c := face.NewConstraint(n)
+			for s := 0; s < n; s++ {
+				if r.Intn(4) == 0 {
+					c.Add(s)
+				}
+			}
+			p.AddConstraint(c)
+		}
+		problems = append(problems, p)
+	}
+	for pi, p := range problems {
+		seq, err := Encode(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 4, 8} {
+			got, err := Encode(p, Options{Workers: workers, Cache: cache})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for s := 0; s < p.N(); s++ {
+				if got.Encoding.Codes[s] != seq.Encoding.Codes[s] {
+					t.Fatalf("problem %d workers=%d: code of symbol %d differs (%b vs %b)",
+						pi, workers, s, got.Encoding.Codes[s], seq.Encoding.Codes[s])
+				}
+			}
+			for i := range seq.Satisfied {
+				if got.Satisfied[i] != seq.Satisfied[i] || got.Infeasible[i] != seq.Infeasible[i] {
+					t.Fatalf("problem %d workers=%d: diagnostics of constraint %d differ", pi, workers, i)
+				}
+			}
+		}
+	}
+}
+
 func TestMinDim(t *testing.T) {
 	cases := []struct{ m, want int }{{1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4}}
 	for _, tc := range cases {

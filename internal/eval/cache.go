@@ -1,0 +1,188 @@
+package eval
+
+import (
+	"sync"
+
+	"picola/internal/face"
+	"picola/internal/obs"
+)
+
+// Cache metrics: lookups that hit, lookups that computed, and lookups
+// that bypassed the cache (code space too wide, or a non-injective
+// encoding whose function a bitset key cannot canonicalize). The
+// hit-rate gauge is exported in whole percent for -metrics snapshots.
+var (
+	mCacheHits   = obs.Default.Counter("eval.cache.hits")
+	mCacheMisses = obs.Default.Counter("eval.cache.misses")
+	mCacheBypass = obs.Default.Counter("eval.cache.bypass")
+	gCacheRate   = obs.Default.Gauge("eval.cache.hit_rate_pct")
+	gCacheLen    = obs.Default.Gauge("eval.cache.entries")
+)
+
+const (
+	// cacheMaxNV bounds the code length the cache accepts: the key holds
+	// two 2^nv-bit bitsets, 1 KiB at nv = 12. Wider spaces only arise far
+	// beyond minimum-length problems and bypass the cache.
+	cacheMaxNV = 12
+	// cacheShards spreads the key space over independently locked maps so
+	// concurrent minimizations rarely contend.
+	cacheShards = 64
+	// cacheShardCap bounds each shard's entries (≈256 K entries total, a
+	// few tens of MB worst case). A full shard stops inserting but keeps
+	// answering lookups; the memoized value of a key never changes, so
+	// the bound affects speed only, never results.
+	cacheShardCap = 4096
+)
+
+// Cache is a sharded, concurrency-safe memo for constraint-function
+// minimizations. The key is the canonical signature of the minimization
+// input — the minimizer policy, the code length nv, the ON-set bitset
+// (member codes) over the 2^nv code space, and the used-code bitset
+// (whose complement is the don't-care set) — so the cached count is a
+// pure function of the key and caching can never change an answer. A nil
+// *Cache is valid and simply computes every request.
+type Cache struct {
+	shards [cacheShards]cacheShard
+}
+
+type cacheShard struct {
+	mu sync.RWMutex
+	m  map[string]int
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	c := &Cache{}
+	for i := range c.shards {
+		c.shards[i].m = make(map[string]int)
+	}
+	return c
+}
+
+// Len returns the number of memoized entries.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	n := 0
+	for i := range c.shards {
+		c.shards[i].mu.RLock()
+		n += len(c.shards[i].m)
+		c.shards[i].mu.RUnlock()
+	}
+	return n
+}
+
+// ConstraintCubes is the memoized ConstraintCubes: exact minimization
+// when the code space allows it, the espresso heuristic beyond.
+func (c *Cache) ConstraintCubes(e *face.Encoding, con face.Constraint) (int, error) {
+	return c.cubes(e, con, false)
+}
+
+// ConstraintCubesHeuristic is the memoized ConstraintCubesHeuristic
+// (espresso regardless of size — the ENC baseline's evaluator).
+func (c *Cache) ConstraintCubesHeuristic(e *face.Encoding, con face.Constraint) (int, error) {
+	return c.cubes(e, con, true)
+}
+
+func (c *Cache) cubes(e *face.Encoding, con face.Constraint, heuristic bool) (int, error) {
+	if c == nil {
+		return minimizeConstraint(e, con, heuristic)
+	}
+	key, ok := cacheKey(e, con, heuristic)
+	if !ok {
+		mCacheBypass.Inc()
+		return minimizeConstraint(e, con, heuristic)
+	}
+	sh := &c.shards[fnvShard(key)]
+	sh.mu.RLock()
+	k, hit := sh.m[key]
+	sh.mu.RUnlock()
+	if hit {
+		mCacheHits.Inc()
+		updateRate()
+		return k, nil
+	}
+	k, err := minimizeConstraint(e, con, heuristic)
+	if err != nil {
+		return 0, err
+	}
+	mCacheMisses.Inc()
+	updateRate()
+	sh.mu.Lock()
+	if len(sh.m) < cacheShardCap {
+		sh.m[key] = k
+		gCacheLen.Set(gCacheLen.Value() + 1) // approximate under contention
+	}
+	sh.mu.Unlock()
+	return k, nil
+}
+
+// updateRate refreshes the hit-rate gauge from the counters. The value
+// is diagnostic; approximate interleaving under contention is fine.
+func updateRate() {
+	h, m := mCacheHits.Value(), mCacheMisses.Value()
+	if t := h + m; t > 0 {
+		gCacheRate.Set(h * 100 / t)
+	}
+}
+
+// cacheKey builds the canonical signature of one minimization request:
+// one policy byte, the code length, the ON-set bitset and the used-code
+// bitset over the 2^nv code space. It reports ok = false when the
+// request cannot be canonicalized that way — the code space exceeds
+// cacheMaxNV, or a member and a non-member share a code (only possible
+// on non-injective encodings), which would put the code in both the
+// ON and OFF covers.
+func cacheKey(e *face.Encoding, con face.Constraint, heuristic bool) (string, bool) {
+	nv := e.NV
+	if nv > cacheMaxNV || con.N() != e.N() {
+		return "", false
+	}
+	words := ((1 << uint(nv)) + 63) / 64
+	mask := uint64(1)<<uint(nv) - 1
+	on := make([]uint64, 2*words) // on ∥ used, one allocation
+	used := on[words:]
+	for s := 0; s < e.N(); s++ {
+		code := e.Codes[s] & mask
+		used[code/64] |= 1 << (code % 64)
+		if con.Has(s) {
+			on[code/64] |= 1 << (code % 64)
+		}
+	}
+	for s := 0; s < e.N(); s++ {
+		if con.Has(s) {
+			continue
+		}
+		code := e.Codes[s] & mask
+		if on[code/64]&(1<<(code%64)) != 0 {
+			return "", false // code is both ON and OFF: not canonicalizable
+		}
+	}
+	key := make([]byte, 0, 2+16*words)
+	tag := byte(0)
+	if heuristic {
+		tag = 1
+	}
+	key = append(key, tag, byte(nv))
+	for _, w := range on { // on then used: the slices share backing
+		key = append(key,
+			byte(w), byte(w>>8), byte(w>>16), byte(w>>24),
+			byte(w>>32), byte(w>>40), byte(w>>48), byte(w>>56))
+	}
+	return string(key), true
+}
+
+// fnvShard hashes the key (FNV-1a) onto a shard index.
+func fnvShard(key string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return h % cacheShards
+}

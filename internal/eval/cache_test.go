@@ -1,0 +1,182 @@
+package eval
+
+import (
+	"math/rand"
+	"testing"
+
+	"picola/internal/face"
+	"picola/internal/par"
+)
+
+// randomInstance builds a deterministic pseudo-random injective encoding
+// and a non-trivial constraint over it.
+func randomInstance(r *rand.Rand) (*face.Encoding, face.Constraint) {
+	for {
+		n := 3 + r.Intn(12)
+		nv := 0
+		for (1 << nv) < n {
+			nv++
+		}
+		nv += r.Intn(2) // sometimes one spare column
+		e := face.NewEncoding(n, nv)
+		perm := r.Perm(1 << uint(nv))
+		for s := 0; s < n; s++ {
+			e.Codes[s] = uint64(perm[s])
+		}
+		c := face.NewConstraint(n)
+		for s := 0; s < n; s++ {
+			if r.Intn(3) == 0 {
+				c.Add(s)
+			}
+		}
+		if c.Count() >= 2 && c.Count() < n {
+			return e, c
+		}
+	}
+}
+
+// TestCacheMatchesUncached: the memoized count equals the direct one for
+// both minimizer policies, on first (miss) and second (hit) lookup.
+func TestCacheMatchesUncached(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	cache := NewCache()
+	for trial := 0; trial < 120; trial++ {
+		e, c := randomInstance(r)
+		want, err := ConstraintCubes(e, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for round := 0; round < 2; round++ {
+			got, err := cache.ConstraintCubes(e, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("trial %d round %d: cached %d, uncached %d", trial, round, got, want)
+			}
+		}
+		wantH, err := ConstraintCubesHeuristic(e, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotH, err := cache.ConstraintCubesHeuristic(e, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotH != wantH {
+			t.Fatalf("trial %d heuristic: cached %d, uncached %d", trial, gotH, wantH)
+		}
+	}
+	if cache.Len() == 0 {
+		t.Fatal("cache stored nothing")
+	}
+}
+
+// TestCacheNilReceiver: a nil *Cache computes every request.
+func TestCacheNilReceiver(t *testing.T) {
+	e := face.NewEncoding(4, 2)
+	for s := 0; s < 4; s++ {
+		e.Codes[s] = uint64(s)
+	}
+	c := face.FromMembers(4, 0, 3)
+	var nilCache *Cache
+	got, err := nilCache.ConstraintCubes(e, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ConstraintCubes(e, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("nil cache: %d, direct: %d", got, want)
+	}
+}
+
+// TestCacheKeyCanonical: two different encodings inducing the same
+// ON/used code sets share one entry; the two minimizer policies do not.
+func TestCacheKeyCanonical(t *testing.T) {
+	// e1 and e2 permute which symbol holds which code but keep the member
+	// code set {00,01} and used set {00,01,10,11} identical.
+	e1 := face.NewEncoding(4, 2)
+	e1.Codes[0], e1.Codes[1], e1.Codes[2], e1.Codes[3] = 0b00, 0b01, 0b10, 0b11
+	c1 := face.FromMembers(4, 0, 1)
+	e2 := face.NewEncoding(4, 2)
+	e2.Codes[0], e2.Codes[1], e2.Codes[2], e2.Codes[3] = 0b01, 0b11, 0b00, 0b10
+	c2 := face.FromMembers(4, 2, 0) // member codes {00, 01} again
+
+	k1, ok1 := cacheKey(e1, c1, false)
+	k2, ok2 := cacheKey(e2, c2, false)
+	if !ok1 || !ok2 {
+		t.Fatal("keys not canonicalizable")
+	}
+	if k1 != k2 {
+		t.Error("same minimization input produced different keys")
+	}
+	kh, _ := cacheKey(e1, c1, true)
+	if kh == k1 {
+		t.Error("exact-policy and heuristic keys must differ")
+	}
+}
+
+// TestCacheBypassOnConflict: a member and a non-member sharing a code
+// (non-injective encoding) cannot be expressed as disjoint ON/OFF
+// bitsets; the cache must bypass, not mis-memoize.
+func TestCacheBypassOnConflict(t *testing.T) {
+	e := face.NewEncoding(4, 2)
+	e.Codes[0], e.Codes[1], e.Codes[2], e.Codes[3] = 0b00, 0b01, 0b00, 0b11
+	c := face.FromMembers(4, 0, 1) // symbol 2 (non-member) shares code 00 with member 0
+	if _, ok := cacheKey(e, c, false); ok {
+		t.Fatal("conflicting ON/OFF code must not be canonicalized")
+	}
+	// The minimizer itself rejects the contradictory ON/OFF input; the
+	// cached path must propagate the same outcome and memoize nothing.
+	cache := NewCache()
+	want, wantErr := ConstraintCubes(e, c)
+	got, gotErr := cache.ConstraintCubes(e, c)
+	if (gotErr == nil) != (wantErr == nil) || got != want {
+		t.Fatalf("bypassed lookup: (%d, %v), direct: (%d, %v)", got, gotErr, want, wantErr)
+	}
+	if cache.Len() != 0 {
+		t.Fatalf("bypass inserted %d entries", cache.Len())
+	}
+}
+
+// TestCacheConcurrent hammers one shared cache from the pool; under
+// -race this is the concurrency-safety gate, and every result must
+// still match the uncached value.
+func TestCacheConcurrent(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	type inst struct {
+		e    *face.Encoding
+		c    face.Constraint
+		want int
+	}
+	var insts []inst
+	for i := 0; i < 40; i++ {
+		e, c := randomInstance(r)
+		want, err := ConstraintCubes(e, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		insts = append(insts, inst{e, c, want})
+	}
+	cache := NewCache()
+	// Each task re-evaluates every instance, so identical keys collide
+	// across workers constantly.
+	_, err := par.Map(32, 8, func(task int) (int, error) {
+		for _, in := range insts {
+			got, err := cache.ConstraintCubes(in.e, in.c)
+			if err != nil {
+				return 0, err
+			}
+			if got != in.want {
+				t.Errorf("task %d: cached %d, want %d", task, got, in.want)
+			}
+		}
+		return 0, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -12,14 +12,17 @@ import (
 	"picola/internal/exact"
 	"picola/internal/face"
 	"picola/internal/obs"
+	"picola/internal/par"
 )
 
-// Evaluation metrics: how many constraint functions were minimized, and
-// by which minimizer.
+// Evaluation metrics: how many constraint functions were minimized, by
+// which minimizer, and how many minimizer calls Evaluate skipped because
+// the constraint was satisfied (one cube by construction).
 var (
 	mConstraintCubes = obs.Default.Counter("eval.constraint_cubes")
 	mExact           = obs.Default.Counter("eval.exact")
 	mHeuristic       = obs.Default.Counter("eval.heuristic")
+	mSatShortcut     = obs.Default.Counter("eval.satisfied_shortcut")
 	tEvaluate        = obs.Default.Timer("eval.evaluate")
 )
 
@@ -56,9 +59,25 @@ func ConstraintFunction(e *face.Encoding, c face.Constraint) *espresso.Function 
 // spaces beyond the exact minimizer's input limit fall back to the
 // espresso heuristic. A satisfied constraint costs exactly one cube.
 func ConstraintCubes(e *face.Encoding, c face.Constraint) (int, error) {
+	return minimizeConstraint(e, c, false)
+}
+
+// ConstraintCubesHeuristic is ConstraintCubes evaluated with the espresso
+// heuristic regardless of size. The ENC baseline uses it: the published
+// ENC is slow precisely because it runs full logic minimization inside
+// its search loop, and that property is part of what Table I reproduces.
+func ConstraintCubesHeuristic(e *face.Encoding, c face.Constraint) (int, error) {
+	return minimizeConstraint(e, c, true)
+}
+
+// minimizeConstraint runs the actual minimization behind ConstraintCubes
+// (heuristic = false: exact within the input limit, espresso beyond) and
+// ConstraintCubesHeuristic (heuristic = true: espresso always). It is the
+// single compute path Cache memoizes.
+func minimizeConstraint(e *face.Encoding, c face.Constraint, heuristic bool) (int, error) {
 	mConstraintCubes.Inc()
 	f := ConstraintFunction(e, c)
-	if e.NV <= exact.MaxInputs {
+	if !heuristic && e.NV <= exact.MaxInputs {
 		mExact.Inc()
 		min, err := exact.Minimize(f, e.NV)
 		if err != nil {
@@ -67,21 +86,6 @@ func ConstraintCubes(e *face.Encoding, c face.Constraint) (int, error) {
 		return min.Len(), nil
 	}
 	mHeuristic.Inc()
-	min, err := espresso.Minimize(f)
-	if err != nil {
-		return 0, err
-	}
-	return min.Len(), nil
-}
-
-// ConstraintCubesHeuristic is ConstraintCubes evaluated with the espresso
-// heuristic regardless of size. The ENC baseline uses it: the published
-// ENC is slow precisely because it runs full logic minimization inside
-// its search loop, and that property is part of what Table I reproduces.
-func ConstraintCubesHeuristic(e *face.Encoding, c face.Constraint) (int, error) {
-	mConstraintCubes.Inc()
-	mHeuristic.Inc()
-	f := ConstraintFunction(e, c)
 	min, err := espresso.Minimize(f)
 	if err != nil {
 		return 0, err
@@ -103,19 +107,55 @@ type Cost struct {
 	SatisfiedCount int
 }
 
+// Options tune Evaluate. The zero value reproduces the uncached,
+// sequential evaluation exactly.
+type Options struct {
+	// Cache memoizes the per-constraint minimizations; nil computes every
+	// request. Memoized counts are a pure function of the minimization
+	// input, so the cache never changes a result.
+	Cache *Cache
+	// Workers fans the per-constraint minimizations out over the par
+	// pool; ≤ 1 evaluates sequentially. The reduction is in constraint
+	// order either way, so the Cost is identical at any worker count.
+	Workers int
+}
+
 // Evaluate scores the encoding against every constraint of the problem.
-func Evaluate(p *face.Problem, e *face.Encoding) (*Cost, error) {
+func Evaluate(p *face.Problem, e *face.Encoding, opts ...Options) (*Cost, error) {
 	defer tEvaluate.Start()()
-	c := &Cost{Cubes: make([]int, len(p.Constraints))}
-	for i, con := range p.Constraints {
-		k, err := ConstraintCubes(e, con)
-		if err != nil {
-			return nil, err
+	var o Options
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	type conCost struct {
+		cubes     int
+		satisfied bool
+	}
+	rs, err := par.Map(len(p.Constraints), o.Workers, func(i int) (conCost, error) {
+		con := p.Constraints[i]
+		satisfied := e.Satisfied(con)
+		if satisfied && con.Count() > 0 {
+			// A satisfied constraint is implemented by its supercube
+			// alone: exactly one cube (the ConstraintCubes contract), no
+			// minimizer call needed.
+			mSatShortcut.Inc()
+			return conCost{cubes: 1, satisfied: true}, nil
 		}
-		c.Cubes[i] = k
-		c.Total += k
-		c.WeightedTotal += k * p.Weight(i)
-		if e.Satisfied(con) {
+		k, err := o.Cache.ConstraintCubes(e, con)
+		if err != nil {
+			return conCost{}, err
+		}
+		return conCost{cubes: k, satisfied: satisfied}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	c := &Cost{Cubes: make([]int, len(p.Constraints))}
+	for i, r := range rs {
+		c.Cubes[i] = r.cubes
+		c.Total += r.cubes
+		c.WeightedTotal += r.cubes * p.Weight(i)
+		if r.satisfied {
 			c.SatisfiedCount++
 		}
 	}

@@ -83,6 +83,78 @@ func TestEvaluateTotals(t *testing.T) {
 	}
 }
 
+// TestEvaluateShortcutPinsCubeCounts pins the satisfied-constraint
+// shortcut: Evaluate skips the minimizer for satisfied constraints (they
+// cost exactly one cube by the ConstraintCubes contract), and the
+// reported per-constraint counts must equal a direct ConstraintCubes
+// evaluation of every constraint — at any worker count, cached or not.
+func TestEvaluateShortcutPinsCubeCounts(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 25; trial++ {
+		n := 4 + r.Intn(10)
+		nv := 0
+		for (1 << nv) < n {
+			nv++
+		}
+		e := face.NewEncoding(n, nv)
+		perm := r.Perm(1 << uint(nv))
+		for s := 0; s < n; s++ {
+			e.Codes[s] = uint64(perm[s])
+		}
+		p := &face.Problem{Names: make([]string, n)}
+		for i := 0; i < 6; i++ {
+			c := face.NewConstraint(n)
+			for s := 0; s < n; s++ {
+				if r.Intn(3) == 0 {
+					c.Add(s)
+				}
+			}
+			p.AddConstraint(c)
+		}
+		if len(p.Constraints) == 0 {
+			continue
+		}
+		before := mSatShortcut.Value()
+		got, err := Evaluate(p, e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sawSatisfied := false
+		for i, con := range p.Constraints {
+			want, err := ConstraintCubes(e, con)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Cubes[i] != want {
+				t.Fatalf("trial %d constraint %d: Evaluate reports %d cubes, minimizer %d",
+					trial, i, got.Cubes[i], want)
+			}
+			if e.Satisfied(con) {
+				sawSatisfied = true
+			}
+		}
+		if sawSatisfied && mSatShortcut.Value() == before {
+			t.Fatal("satisfied constraint evaluated without taking the shortcut")
+		}
+		// The parallel, cached evaluation must report the identical Cost.
+		par, err := Evaluate(p, e, Options{Cache: NewCache(), Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par.Total != got.Total || par.WeightedTotal != got.WeightedTotal ||
+			par.SatisfiedCount != got.SatisfiedCount {
+			t.Fatalf("trial %d: parallel cached Cost %+v differs from sequential %+v",
+				trial, par, got)
+		}
+		for i := range got.Cubes {
+			if par.Cubes[i] != got.Cubes[i] {
+				t.Fatalf("trial %d constraint %d: parallel %d, sequential %d",
+					trial, i, par.Cubes[i], got.Cubes[i])
+			}
+		}
+	}
+}
+
 func TestSatisfiedIffOneCube(t *testing.T) {
 	// Property: a constraint is satisfied exactly when its minimized
 	// implementation is a single cube. (One direction is the definition;

@@ -1,0 +1,155 @@
+// Package par is the repository's deterministic parallel-execution
+// layer: a stdlib-only bounded worker pool whose results are collected
+// in input order, so a parallel run reduces to exactly the values a
+// sequential run would produce. Every consumer (the core portfolio, the
+// evaluator's per-constraint fan-out, the table harness) folds the
+// ordered result slice sequentially, which is why bit-for-bit output
+// determinism survives the concurrency (DESIGN.md §8).
+//
+// The pool is per-call and unpooled across calls: goroutines beyond
+// GOMAXPROCS only queue at the runtime scheduler, so nested Map calls
+// (rows → encoders → portfolio variants) oversubscribe harmlessly
+// instead of deadlocking on a shared token pool.
+package par
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"picola/internal/obs"
+)
+
+// Pool-utilization metrics: calls that actually fanned out, tasks run,
+// and per-task time (par.map total vs par.task total × workers gives the
+// pool's busy fraction).
+var (
+	mCalls  = obs.Default.Counter("par.map_calls")
+	mInline = obs.Default.Counter("par.inline_calls")
+	mTasks  = obs.Default.Counter("par.tasks")
+	gLastW  = obs.Default.Gauge("par.last_workers")
+	tMap    = obs.Default.Timer("par.map")
+	tTask   = obs.Default.Timer("par.task")
+)
+
+// Workers normalizes a -j style worker count: values < 1 mean
+// GOMAXPROCS.
+func Workers(j int) int {
+	if j < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return j
+}
+
+// RegisterFlag installs the shared -j flag on fs (default GOMAXPROCS;
+// -j 1 reproduces the sequential execution exactly) and returns the
+// value pointer.
+func RegisterFlag(fs *flag.FlagSet) *int {
+	return fs.Int("j", runtime.GOMAXPROCS(0),
+		"parallel `workers` for independent work units (1 = sequential)")
+}
+
+// panicked wraps a captured worker panic so Map can rethrow it on the
+// calling goroutine with the worker's stack attached.
+type panicked struct {
+	val   any
+	stack []byte
+}
+
+// Map runs fn(0) … fn(n-1) on at most workers goroutines and returns the
+// results in input order. The first error cancels the remaining
+// not-yet-started tasks via context; tasks already running finish, and
+// the error reported is the one with the smallest index among those
+// recorded, so a deterministic fn yields a deterministic error. A panic
+// in fn is captured and rethrown on the caller with the worker's stack.
+// workers ≤ 1 (or n ≤ 1) runs inline on the caller, byte-for-byte the
+// sequential loop.
+func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	if workers > n {
+		workers = n
+	}
+	results := make([]T, n)
+	if workers <= 1 || n == 1 {
+		mInline.Inc()
+		mTasks.Add(int64(n))
+		var err error
+		for i := 0; i < n; i++ {
+			results[i], err = fn(i)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return results, nil
+	}
+	mCalls.Inc()
+	mTasks.Add(int64(n))
+	gLastW.Set(int64(workers))
+	defer tMap.Start()()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	errs := make([]error, n)
+	panics := make([]*panicked, n)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				runTask(ctx, cancel, i, fn, results, errs, panics)
+			}
+		}()
+	}
+	// Feed indices until done or cancelled; tasks not yet handed out are
+	// skipped after the first error/panic.
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if p := panics[i]; p != nil {
+			panic(fmt.Sprintf("par: task %d panicked: %v\n%s", i, p.val, p.stack))
+		}
+	}
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+	}
+	return results, nil
+}
+
+// runTask executes one index, recording its result, error or panic and
+// cancelling the pool on failure.
+func runTask[T any](ctx context.Context, cancel context.CancelFunc, i int,
+	fn func(i int) (T, error), results []T, errs []error, panics []*panicked) {
+	defer tTask.Start()()
+	defer func() {
+		if r := recover(); r != nil {
+			buf := make([]byte, 64<<10)
+			panics[i] = &panicked{val: r, stack: buf[:runtime.Stack(buf, false)]}
+			cancel()
+		}
+	}()
+	if ctx.Err() != nil {
+		return // cancelled after being handed out: leave the zero value
+	}
+	var err error
+	results[i], err = fn(i)
+	if err != nil {
+		errs[i] = err
+		cancel()
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"picola/internal/cover"
 	"picola/internal/cube"
 	"picola/internal/espresso"
+	"picola/internal/eval"
 	"picola/internal/face"
 	"picola/internal/kiss"
 	"picola/internal/obs"
@@ -83,6 +84,13 @@ type Options struct {
 	// Trace receives the PICOLA encoder's structured trace events (only
 	// the Picola encoder is instrumented). Nil means tracing off.
 	Trace obs.Tracer
+	// Workers bounds the encoder's internal parallel fan-out (the PICOLA
+	// portfolio, ENC's candidate scoring); ≤ 1 is sequential. Results
+	// are identical at every worker count.
+	Workers int
+	// Cache memoizes constraint minimizations across encoders and runs
+	// (nil = none); memoized counts are pure functions of their input.
+	Cache *eval.Cache
 }
 
 // Report is the outcome of one state assignment.
@@ -161,7 +169,8 @@ func encodeStates(m *kiss.FSM, prob *face.Problem, o Options, rep *Report) (*fac
 		// which is a proxy here — the flow minimizes the full encoded
 		// machine afterwards — so the cheap estimate-based refinement
 		// alone keeps the tool's runtime advantage (paper Table II).
-		r, err := core.Encode(prob, core.Options{ExactPolishBudget: -1, Trace: o.Trace})
+		r, err := core.Encode(prob, core.Options{ExactPolishBudget: -1, Trace: o.Trace,
+			Workers: o.Workers, Cache: o.Cache})
 		if err != nil {
 			return nil, err
 		}
@@ -175,7 +184,8 @@ func encodeStates(m *kiss.FSM, prob *face.Problem, o Options, rep *Report) (*fac
 			OutputPairs: OutputPairs(m),
 		})
 	case Enc:
-		r, err := enc.Encode(prob, enc.Options{Seed: o.Seed, Budget: o.EncBudget})
+		r, err := enc.Encode(prob, enc.Options{Seed: o.Seed, Budget: o.EncBudget,
+			Workers: o.Workers, Cache: o.Cache})
 		if err != nil {
 			return nil, err
 		}

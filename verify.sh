@@ -21,3 +21,10 @@ done
 
 go test ./...
 go test -race ./...
+
+# The parallel execution layer must be bit-deterministic at every worker
+# count: run the determinism suite under the race detector at both ends
+# of the GOMAXPROCS range (the env propagates to the cmd/tables
+# subprocesses the suite spawns).
+GOMAXPROCS=1 go test -race -count=1 -run Determinism .
+GOMAXPROCS=4 go test -race -count=1 -run Determinism .
