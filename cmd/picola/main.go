@@ -29,6 +29,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
@@ -42,6 +43,7 @@ import (
 	"picola/internal/obs"
 	"picola/internal/optenc"
 	"picola/internal/par"
+	"picola/internal/verify"
 )
 
 // jWorkers and memo are the shared -j fan-out width and the process-wide
@@ -51,43 +53,45 @@ var (
 	memo     *eval.Cache
 )
 
-// run dispatches one encoder run; keyed by the -algo flag value.
-var algorithms = map[string]func(p *face.Problem, nv int, seed int64, tr obs.Tracer) (*face.Encoding, error){
-	"picola": func(p *face.Problem, nv int, seed int64, tr obs.Tracer) (*face.Encoding, error) {
+// run dispatches one encoder run; keyed by the -algo flag value. diag
+// receives progress/warning lines (os.Stderr in main; the -check
+// shrinker re-runs encoders with io.Discard).
+var algorithms = map[string]func(p *face.Problem, nv int, seed int64, tr obs.Tracer, diag io.Writer) (*face.Encoding, error){
+	"picola": func(p *face.Problem, nv int, seed int64, tr obs.Tracer, diag io.Writer) (*face.Encoding, error) {
 		r, err := core.Encode(p, core.Options{NV: nv, Trace: tr, Workers: jWorkers, Cache: memo})
 		if err != nil {
 			return nil, err
 		}
 		return r.Encoding, nil
 	},
-	"nova": func(p *face.Problem, nv int, seed int64, tr obs.Tracer) (*face.Encoding, error) {
+	"nova": func(p *face.Problem, nv int, seed int64, tr obs.Tracer, diag io.Writer) (*face.Encoding, error) {
 		return nova.Encode(p, nova.Options{Seed: seed, NV: nv})
 	},
-	"enc": func(p *face.Problem, nv int, seed int64, tr obs.Tracer) (*face.Encoding, error) {
+	"enc": func(p *face.Problem, nv int, seed int64, tr obs.Tracer, diag io.Writer) (*face.Encoding, error) {
 		r, err := enc.Encode(p, enc.Options{Seed: seed, NV: nv, Workers: jWorkers, Cache: memo})
 		if err != nil {
 			return nil, err
 		}
 		if !r.Completed {
-			fmt.Fprintln(os.Stderr, "picola: warning: enc search ran out of budget")
+			fmt.Fprintln(diag, "picola: warning: enc search ran out of budget")
 		}
 		return r.Encoding, nil
 	},
-	"optimal": func(p *face.Problem, nv int, seed int64, tr obs.Tracer) (*face.Encoding, error) {
+	"optimal": func(p *face.Problem, nv int, seed int64, tr obs.Tracer, diag io.Writer) (*face.Encoding, error) {
 		r, err := optenc.Optimal(p)
 		if err != nil {
 			return nil, err
 		}
-		fmt.Fprintf(os.Stderr, "picola: exhaustive optimum over %d encodings: %d cubes\n",
+		fmt.Fprintf(diag, "picola: exhaustive optimum over %d encodings: %d cubes\n",
 			r.Evaluated, r.Cubes)
 		return r.Encoding, nil
 	},
-	"all": func(p *face.Problem, nv int, seed int64, tr obs.Tracer) (*face.Encoding, error) {
+	"all": func(p *face.Problem, nv int, seed int64, tr obs.Tracer, diag io.Writer) (*face.Encoding, error) {
 		r, err := core.EncodeAll(p, core.Options{Trace: tr, Workers: jWorkers, Cache: memo})
 		if err != nil {
 			return nil, err
 		}
-		fmt.Fprintf(os.Stderr, "picola: full satisfaction at %d bits (minimum %d)\n",
+		fmt.Fprintf(diag, "picola: full satisfaction at %d bits (minimum %d)\n",
 			r.Encoding.NV, p.MinLength())
 		return r.Encoding, nil
 	},
@@ -107,6 +111,7 @@ func main() {
 	nv := flag.Int("nv", 0, "code length override (0 = minimum)")
 	seed := flag.Int64("seed", 1, "seed for the randomized encoders")
 	evaluate := flag.Bool("eval", true, "print the per-constraint cube evaluation")
+	check := flag.Bool("check", false, "run the semantic verification oracle on the encoding; exit 1 with a shrunk repro on failure")
 	jFlag := par.RegisterFlag(flag.CommandLine)
 	verbose := flag.Bool("v", false, "print a per-stage wall-clock summary to stderr")
 	var oc obs.Config
@@ -142,9 +147,38 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	e, err := run(p, *nv, *seed, session.Tracer)
+	e, err := run(p, *nv, *seed, session.Tracer, os.Stderr)
 	if err != nil {
 		fatal(err)
+	}
+	if *check {
+		// The minimum-length invariant only holds when the length was not
+		// overridden and the encoder targets it ("all" grows the length).
+		opts := verify.Options{RequireMinLength: *nv == 0 && *algo != "all"}
+		rep := &verify.Report{}
+		rep.Merge(verify.CheckEncoding(p, e, opts))
+		rep.Merge(verify.CheckMinimization(p, e, memo))
+		rep.Merge(verify.CheckCost(p, e, memo))
+		if !rep.Ok() {
+			fmt.Fprintln(os.Stderr, "picola: -check failed:", rep.Err())
+			shrunk := verify.Shrink(p, func(q *face.Problem) bool {
+				qe, err := run(q, *nv, *seed, nil, io.Discard)
+				if err != nil {
+					return false
+				}
+				bad := &verify.Report{}
+				bad.Merge(verify.CheckEncoding(q, qe, opts))
+				bad.Merge(verify.CheckMinimization(q, qe, memo))
+				bad.Merge(verify.CheckCost(q, qe, memo))
+				return !bad.Ok()
+			}, 0)
+			fmt.Fprintf(os.Stderr, "picola: shrunk repro:\n%s", verify.Repro(shrunk))
+			if err := session.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "picola:", err)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "picola: -check passed")
 	}
 	for s := 0; s < p.N(); s++ {
 		fmt.Printf("%-12s %s\n", p.Names[s], e.CodeString(s))

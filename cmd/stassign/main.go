@@ -23,15 +23,22 @@ import (
 	"fmt"
 	"os"
 
+	"picola/internal/baseline/enc"
+	"picola/internal/baseline/nova"
 	"picola/internal/benchgen"
 	"picola/internal/blif"
+	"picola/internal/core"
 	"picola/internal/eval"
+	"picola/internal/face"
 	"picola/internal/kiss"
 	"picola/internal/obs"
+	"picola/internal/optenc"
 	"picola/internal/par"
 	"picola/internal/pla"
 	"picola/internal/stassign"
 	"picola/internal/statemin"
+	"picola/internal/symbolic"
+	"picola/internal/verify"
 )
 
 var encoderNames = map[string]stassign.Encoder{
@@ -50,6 +57,7 @@ func main() {
 	blifOut := flag.String("blif", "", "write the encoded machine as a BLIF netlist to this file")
 	compare := flag.Bool("compare", false, "run every encoder and compare")
 	reduce := flag.Bool("reduce", false, "merge compatible states before assignment")
+	check := flag.Bool("check", false, "verify the state encoding against the semantic oracle; exit 1 with a shrunk repro on failure")
 	seed := flag.Int64("seed", 1, "seed for the randomized encoders")
 	jFlag := par.RegisterFlag(flag.CommandLine)
 	verbose := flag.Bool("v", false, "print a per-stage wall-clock summary to stderr")
@@ -96,6 +104,11 @@ func main() {
 			fmt.Printf("%-9s products=%-5d area=%-6d satisfied=%d/%d time=%v\n",
 				name, rep.Products, rep.Area, rep.SatisfiedConstraints,
 				rep.Constraints, rep.TotalTime.Round(1e6))
+			if *check {
+				if err := checkAssignment(m, rep.Encoding, memo).Err(); err != nil {
+					fatal(fmt.Errorf("%s: -check failed: %w", name, err))
+				}
+			}
 		}
 		return
 	}
@@ -107,6 +120,29 @@ func main() {
 		Workers: jWorkers, Cache: memo})
 	if err != nil {
 		fatal(err)
+	}
+	if *check {
+		if failure := checkAssignment(m, rep.Encoding, memo); !failure.Ok() {
+			fmt.Fprintln(os.Stderr, "stassign: -check failed:", failure.Err())
+			reEncode := faceEncoder(encoder, *seed, jWorkers, memo)
+			prob, _, err := symbolic.ExtractConstraints(m)
+			if err == nil {
+				shrunk := verify.Shrink(prob, func(q *face.Problem) bool {
+					qe, err := reEncode(q)
+					if err != nil {
+						return false
+					}
+					bad := &verify.Report{}
+					bad.Merge(verify.CheckEncoding(q, qe, verify.Options{RequireMinLength: true}))
+					bad.Merge(verify.CheckMinimization(q, qe, memo))
+					bad.Merge(verify.CheckCost(q, qe, memo))
+					return !bad.Ok()
+				}, 0)
+				fmt.Fprintf(os.Stderr, "stassign: shrunk constraint-level repro:\n%s", verify.Repro(shrunk))
+			}
+			fatal(fmt.Errorf("semantic verification failed"))
+		}
+		fmt.Fprintln(os.Stderr, "stassign: -check passed")
 	}
 	fmt.Printf("machine: %s  states=%d  constraints=%d (satisfied %d)\n",
 		rep.Name, rep.States, rep.Constraints, rep.SatisfiedConstraints)
@@ -182,6 +218,68 @@ func loadMachine(bench string, args []string) (*kiss.FSM, error) {
 		m.Name = args[0]
 	}
 	return m, nil
+}
+
+// checkAssignment re-extracts the machine's face constraints and runs
+// the semantic oracle stack on the state encoding.
+func checkAssignment(m *kiss.FSM, e *face.Encoding, memo *eval.Cache) *verify.Report {
+	rep := &verify.Report{}
+	prob, _, err := symbolic.ExtractConstraints(m)
+	if err != nil {
+		rep.Merge(&verify.Report{Failures: []verify.Failure{{
+			Check: "extract", Constraint: -1, Detail: err.Error()}}})
+		return rep
+	}
+	rep.Merge(verify.CheckEncoding(prob, e, verify.Options{RequireMinLength: true}))
+	rep.Merge(verify.CheckMinimization(prob, e, memo))
+	rep.Merge(verify.CheckCost(prob, e, memo))
+	return rep
+}
+
+// faceEncoder maps a stassign encoder to its constraint-level core so a
+// failing instance can be shrunk to a consfile repro without a machine
+// around it. NovaIOH falls back to the input-hybrid objective — the
+// output pairs need the FSM, which a shrunk constraint instance no
+// longer has.
+func faceEncoder(which stassign.Encoder, seed int64, workers int, memo *eval.Cache) func(*face.Problem) (*face.Encoding, error) {
+	switch which {
+	case stassign.NovaIH, stassign.NovaIOH:
+		return func(q *face.Problem) (*face.Encoding, error) {
+			return nova.Encode(q, nova.Options{Variant: nova.IHybrid, Seed: seed})
+		}
+	case stassign.Enc:
+		return func(q *face.Problem) (*face.Encoding, error) {
+			r, err := enc.Encode(q, enc.Options{Seed: seed, Workers: workers, Cache: memo})
+			if err != nil {
+				return nil, err
+			}
+			return r.Encoding, nil
+		}
+	case stassign.Natural:
+		return func(q *face.Problem) (*face.Encoding, error) {
+			e := face.NewEncoding(q.N(), q.MinLength())
+			for s := 0; s < q.N(); s++ {
+				e.Codes[s] = uint64(s)
+			}
+			return e, nil
+		}
+	case stassign.Optimal:
+		return func(q *face.Problem) (*face.Encoding, error) {
+			r, err := optenc.Optimal(q)
+			if err != nil {
+				return nil, err
+			}
+			return r.Encoding, nil
+		}
+	default:
+		return func(q *face.Problem) (*face.Encoding, error) {
+			r, err := core.Encode(q, core.Options{ExactPolishBudget: -1, Workers: workers, Cache: memo})
+			if err != nil {
+				return nil, err
+			}
+			return r.Encoding, nil
+		}
+	}
 }
 
 func fatal(err error) {

@@ -42,12 +42,14 @@ import (
 	"picola/internal/benchgen"
 	"picola/internal/core"
 	"picola/internal/eval"
+	"picola/internal/face"
 	"picola/internal/obs"
 	"picola/internal/par"
 	"picola/internal/power"
 	"picola/internal/report"
 	"picola/internal/stassign"
 	"picola/internal/symbolic"
+	"picola/internal/verify"
 )
 
 func main() {
@@ -59,6 +61,7 @@ func main() {
 	formatName := flag.String("format", "text", "output format: text, md or csv")
 	jsonOut := flag.String("json", "", "write a machine-readable benchmark snapshot to `FILE` (tables 1 and 2)")
 	diffMode := flag.Bool("diff", false, "compare two -json snapshots given as `OLD NEW` arguments and report cube/product deltas")
+	check := flag.Bool("check", false, "run the semantic verification oracle on every encoding (tables 1 and 2); exit 1 with a shrunk repro on failure")
 	verbose := flag.Bool("v", false, "print a per-stage wall-clock summary to stderr")
 	var oc obs.Config
 	oc.RegisterFlags(flag.CommandLine)
@@ -71,6 +74,7 @@ func main() {
 	}
 	jWorkers = par.Workers(*jFlag)
 	memo = eval.NewCache()
+	checkEnabled = *check
 	session, serr := oc.Start()
 	if serr != nil {
 		fmt.Fprintln(os.Stderr, "tables:", serr)
@@ -79,12 +83,14 @@ func main() {
 	tracer = session.Tracer
 	var err error
 	var snap *benchSnapshot
+	exitCode := 0
 	switch {
 	case *diffMode:
 		if flag.NArg() != 2 {
-			err = fmt.Errorf("-diff needs exactly two snapshot files: tables -diff OLD.json NEW.json")
+			fmt.Fprintln(os.Stderr, "tables: -diff needs exactly two snapshot files: tables -diff OLD.json NEW.json")
+			exitCode = 2
 		} else {
-			err = diffSnapshots(os.Stdout, flag.Arg(0), flag.Arg(1))
+			exitCode = runDiff(os.Stdout, os.Stderr, flag.Arg(0), flag.Arg(1))
 		}
 	case *table == 1:
 		snap, err = table1(*only, *seed, *encBudget)
@@ -113,6 +119,9 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tables:", err)
 		os.Exit(1)
+	}
+	if exitCode != 0 {
+		os.Exit(exitCode)
 	}
 }
 
@@ -190,6 +199,11 @@ func table1Compute(spec benchgen.Spec, seed int64, encBudget int) (*table1Row, e
 				return z, fmt.Errorf("%s nova: %w", spec.Name, err)
 			}
 			row.tNova = time.Since(t0)
+			if err := checkEncoded(spec.Name, "nova", prob, novaEnc, func(q *face.Problem) (*face.Encoding, error) {
+				return nova.Encode(q, nova.Options{Variant: nova.IHybrid, Seed: seed})
+			}); err != nil {
+				return z, err
+			}
 			novaCost, err := eval.Evaluate(prob, novaEnc, evalOpts)
 			if err != nil {
 				return z, err
@@ -203,6 +217,15 @@ func table1Compute(spec benchgen.Spec, seed int64, encBudget int) (*table1Row, e
 				return z, fmt.Errorf("%s enc: %w", spec.Name, err)
 			}
 			row.tEnc = time.Since(t0)
+			if err := checkEncoded(spec.Name, "enc", prob, encRes.Encoding, func(q *face.Problem) (*face.Encoding, error) {
+				r, err := enc.Encode(q, enc.Options{Seed: seed, Budget: encBudget, Workers: jWorkers, Cache: memo})
+				if err != nil {
+					return nil, err
+				}
+				return r.Encoding, nil
+			}); err != nil {
+				return z, err
+			}
 			row.encCubes = encRes.Cost
 			row.encCompleted = encRes.Completed
 		case 2:
@@ -213,6 +236,15 @@ func table1Compute(spec benchgen.Spec, seed int64, encBudget int) (*table1Row, e
 				return z, fmt.Errorf("%s picola: %w", spec.Name, err)
 			}
 			row.tPic = time.Since(t0)
+			if err := checkEncoded(spec.Name, "picola", prob, picRes.Encoding, func(q *face.Problem) (*face.Encoding, error) {
+				r, err := core.Encode(q, core.Options{Workers: jWorkers, Cache: memo})
+				if err != nil {
+					return nil, err
+				}
+				return r.Encoding, nil
+			}); err != nil {
+				return z, err
+			}
 			picCost, err := eval.Evaluate(prob, picRes.Encoding, evalOpts)
 			if err != nil {
 				return z, err
@@ -314,6 +346,28 @@ func table2Compute(spec benchgen.Spec, seed int64) (*table2Row, error) {
 		rep, err := stassign.Assign(m, o)
 		if err != nil {
 			return nil, fmt.Errorf("%s %s: %w", spec.Name, encoders[k], err)
+		}
+		if checkEnabled {
+			prob, _, err := symbolic.ExtractConstraints(m)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", spec.Name, err)
+			}
+			// The shrink re-encoder approximates NovaIOH with the
+			// input-hybrid objective: output pairs need the machine, which
+			// a shrunk constraint instance no longer has.
+			reEncode := func(q *face.Problem) (*face.Encoding, error) {
+				if encoders[k] == stassign.Picola {
+					r, err := core.Encode(q, core.Options{ExactPolishBudget: -1, Workers: jWorkers, Cache: memo})
+					if err != nil {
+						return nil, err
+					}
+					return r.Encoding, nil
+				}
+				return nova.Encode(q, nova.Options{Variant: nova.IHybrid, Seed: seed})
+			}
+			if err := checkEncoded(spec.Name, fmt.Sprint(encoders[k]), prob, rep.Encoding, reEncode); err != nil {
+				return nil, err
+			}
 		}
 		return rep, nil
 	})
@@ -472,7 +526,39 @@ var (
 	jWorkers  = 1
 	memo      *eval.Cache
 	outFormat = report.Text
+	// checkEnabled runs the semantic verification oracle on every
+	// encoding produced by tables 1 and 2 (-check).
+	checkEnabled = false
 )
+
+// checkEncoded verifies one encoding against the semantic oracle when
+// -check is set. On failure the instance is shrunk (re-encoding with
+// reEncode) to a minimal consfile repro embedded in the error.
+func checkEncoded(fsm, encName string, prob *face.Problem, e *face.Encoding,
+	reEncode func(*face.Problem) (*face.Encoding, error)) error {
+	if !checkEnabled {
+		return nil
+	}
+	failed := func(q *face.Problem, qe *face.Encoding) *verify.Report {
+		rep := &verify.Report{}
+		rep.Merge(verify.CheckEncoding(q, qe, verify.Options{RequireMinLength: true}))
+		rep.Merge(verify.CheckMinimization(q, qe, memo))
+		return rep
+	}
+	rep := failed(prob, e)
+	if rep.Ok() {
+		return nil
+	}
+	shrunk := verify.Shrink(prob, func(q *face.Problem) bool {
+		qe, err := reEncode(q)
+		if err != nil {
+			return false
+		}
+		return !failed(q, qe).Ok()
+	}, 0)
+	return fmt.Errorf("%s %s: -check failed: %w\nshrunk repro:\n%s",
+		fsm, encName, rep.Err(), verify.Repro(shrunk))
+}
 
 // forEach maps fn over the specs, up to -j concurrently, and returns the
 // results in input order with the lowest-index error winning — the
@@ -499,23 +585,41 @@ func readSnapshot(path string) (*benchSnapshot, error) {
 	return &snap, nil
 }
 
+// runDiff drives a -diff comparison and maps the outcome to the exit
+// code contract: 0 when the snapshots agree on every quality metric, 1
+// on any delta, 2 when a snapshot is unreadable, malformed, or the two
+// are not comparable.
+func runDiff(w, errw io.Writer, oldPath, newPath string) int {
+	mismatches, err := diffSnapshots(w, oldPath, newPath)
+	if err != nil {
+		fmt.Fprintln(errw, "tables:", err)
+		return 2
+	}
+	if mismatches > 0 {
+		fmt.Fprintf(errw, "tables: %d mismatch(es) between %s and %s\n", mismatches, oldPath, newPath)
+		return 1
+	}
+	return 0
+}
+
 // diffSnapshots compares two -json snapshots of the same table. Quality
 // metrics (cubes, products) are the regression gate: any per-row,
-// per-encoder delta is reported and makes the diff fail. Wall times are
-// expected to move — the summary line reports the aggregate speedup of
-// new over old instead. Rows pair by FSM name in the old snapshot's
-// order; encoders print in sorted-name order.
-func diffSnapshots(w io.Writer, oldPath, newPath string) error {
+// per-encoder delta is reported and counted. Wall times are expected to
+// move — the summary line reports the aggregate speedup of new over old
+// instead. Rows pair by FSM name in the old snapshot's order; encoders
+// print in sorted-name order. The error return is reserved for unusable
+// input (unreadable file, malformed JSON, schema or table mismatch).
+func diffSnapshots(w io.Writer, oldPath, newPath string) (int, error) {
 	oldSnap, err := readSnapshot(oldPath)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	newSnap, err := readSnapshot(newPath)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	if oldSnap.Table != newSnap.Table {
-		return fmt.Errorf("snapshots are of different tables: %d vs %d", oldSnap.Table, newSnap.Table)
+		return 0, fmt.Errorf("snapshots are of different tables: %d vs %d", oldSnap.Table, newSnap.Table)
 	}
 	newRows := make(map[string]benchRow, len(newSnap.Rows))
 	for _, r := range newSnap.Rows {
@@ -577,10 +681,7 @@ func diffSnapshots(w io.Writer, oldPath, newPath string) error {
 			time.Duration(newWall).Round(time.Millisecond),
 			float64(oldWall)/float64(newWall))
 	}
-	if mismatches > 0 {
-		return fmt.Errorf("%d mismatch(es) between %s and %s", mismatches, oldPath, newPath)
-	}
-	return nil
+	return mismatches, nil
 }
 
 // table4 is the power extension experiment: the switching activity of the

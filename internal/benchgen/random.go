@@ -1,0 +1,45 @@
+// Random face-constraint instances for property fuzzing: unlike the
+// FSM-shaped Suite specs, these sample the constraint space directly so
+// the verification oracles see group structures no benchmark family
+// produces.
+package benchgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"picola/internal/face"
+)
+
+// RandomProblem derives a face-constraint instance deterministically
+// from seed: n symbols in [3, maxSymbols], a random number of random
+// group constraints (duplicates merge into weights via AddConstraint),
+// and occasional explicit weights. maxSymbols values below 3 are raised
+// to 3; the result always passes face.Problem.Validate and has at least
+// one constraint.
+func RandomProblem(seed int64, maxSymbols int) *face.Problem {
+	if maxSymbols < 3 {
+		maxSymbols = 3
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := 3 + rng.Intn(maxSymbols-2)
+	p := &face.Problem{Name: fmt.Sprintf("rand-%d", seed)}
+	for s := 0; s < n; s++ {
+		p.Names = append(p.Names, fmt.Sprintf("s%d", s))
+	}
+	// At least one constraint; on average about one per symbol.
+	nc := 1 + rng.Intn(n)
+	for len(p.Constraints) < nc {
+		k := 2 + rng.Intn(n-2) // members in [2, n-1]
+		c := face.NewConstraint(n)
+		for _, m := range rng.Perm(n)[:k] {
+			c.Add(m)
+		}
+		before := len(p.Constraints)
+		p.AddConstraint(c)
+		if len(p.Constraints) > before && rng.Intn(4) == 0 {
+			p.Weights[len(p.Weights)-1] = 1 + rng.Intn(3)
+		}
+	}
+	return p
+}

@@ -104,13 +104,26 @@ func FuzzParse(f *testing.F) {
 			// problem has no canonical file form.
 			return
 		}
-		// Anything accepted must survive a write/parse round trip.
+		// Anything accepted must be internally valid and survive a
+		// write/parse round trip without changing shape, constraints, or
+		// weights.
+		if err := p.Validate(); err != nil {
+			t.Fatalf("accepted problem fails validation: %v", err)
+		}
 		q, err := ParseString(String(p))
 		if err != nil {
 			t.Fatalf("round trip rejected: %v", err)
 		}
 		if q.N() != p.N() || len(q.Constraints) != len(p.Constraints) {
 			t.Fatal("round trip changed the problem")
+		}
+		for i, c := range p.Constraints {
+			if !q.Constraints[i].Equal(c) {
+				t.Fatalf("round trip changed constraint %d", i)
+			}
+			if q.Weight(i) != p.Weight(i) {
+				t.Fatalf("round trip changed weight %d: %d vs %d", i, p.Weight(i), q.Weight(i))
+			}
 		}
 	})
 }

@@ -69,6 +69,40 @@ func TestMapError(t *testing.T) {
 
 // TestMapErrorSequentialStops: the inline path stops at the first error
 // like a plain loop.
+// TestMapErrorLowestIndexWins: when several tasks fail, the error
+// returned is the lowest-index one regardless of completion order, and
+// the first failure to complete cancels the tasks not yet handed out.
+func TestMapErrorLowestIndexWins(t *testing.T) {
+	errLow := errors.New("low-index failure")
+	errHigh := errors.New("high-index failure")
+	// Task 6 is guaranteed to be running (task 7 waits for its start
+	// signal) but blocks until task 7 has already failed — so errHigh
+	// completes first, and errLow must still win the scan.
+	sixStarted := make(chan struct{})
+	release := make(chan struct{})
+	var ran atomic.Int64
+	_, err := Map(64, 4, func(i int) (int, error) {
+		ran.Add(1)
+		switch i {
+		case 6:
+			close(sixStarted)
+			<-release
+			return 0, errLow
+		case 7:
+			<-sixStarted
+			close(release)
+			return 0, errHigh
+		}
+		return i, nil
+	})
+	if !errors.Is(err, errLow) {
+		t.Fatalf("err = %v, want the lowest-index failure %v", err, errLow)
+	}
+	if n := ran.Load(); n >= 64 {
+		t.Errorf("first failure did not cancel any remaining tasks (%d ran)", n)
+	}
+}
+
 func TestMapErrorSequentialStops(t *testing.T) {
 	var ran int
 	_, err := Map(10, 1, func(i int) (int, error) {

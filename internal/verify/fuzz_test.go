@@ -1,0 +1,105 @@
+package verify_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"picola/internal/benchgen"
+	"picola/internal/core"
+	"picola/internal/face"
+	"picola/internal/verify"
+)
+
+// fuzzProblem derives a bounded random instance from the fuzz arguments.
+func fuzzProblem(seed, size int64) *face.Problem {
+	maxSyms := 3 + int(uint64(size)%8) // [3, 10]: keeps one iteration fast
+	return benchgen.RandomProblem(seed, maxSyms)
+}
+
+// failReport reruns the full oracle stack; used both as the fuzz check
+// and as the shrink predicate.
+func failReport(p *face.Problem) *verify.Report {
+	rep := &verify.Report{}
+	r, err := core.Encode(p)
+	if err != nil {
+		rep.Merge(&verify.Report{Failures: []verify.Failure{{
+			Check: "encode", Constraint: -1, Detail: err.Error()}}})
+		return rep
+	}
+	rep.Merge(verify.CheckEncoding(p, r.Encoding, verify.Options{RequireMinLength: true, SkipBrute: true}))
+	rep.Merge(verify.CheckResult(p, r))
+	rep.Merge(verify.CheckMinimization(p, r.Encoding, nil))
+	rep.Merge(verify.CheckCost(p, r.Encoding, nil))
+	return rep
+}
+
+// FuzzEncodePipeline drives the full PICOLA pipeline on random benchgen
+// instances and checks every oracle layer; failures are shrunk to a
+// minimal consfile repro before reporting.
+func FuzzEncodePipeline(f *testing.F) {
+	f.Add(int64(1), int64(0))
+	f.Add(int64(42), int64(3))
+	f.Add(int64(7), int64(7))
+	f.Fuzz(func(t *testing.T, seed, size int64) {
+		p := fuzzProblem(seed, size)
+		rep := failReport(p)
+		if rep.Ok() {
+			return
+		}
+		shrunk := verify.Shrink(p, func(q *face.Problem) bool { return !failReport(q).Ok() }, 100)
+		t.Fatalf("oracle failures: %v\nshrunk repro:\n%s", rep.Err(), verify.Repro(shrunk))
+	})
+}
+
+// randomEncoding assigns distinct random codes — unlike encoder output,
+// these are typically violated-constraint-heavy, exercising the
+// minimizers far from the optimum. An extra column beyond the minimum is
+// added on odd seeds.
+func randomEncoding(p *face.Problem, seed int64) *face.Encoding {
+	rng := rand.New(rand.NewSource(seed))
+	nv := p.MinLength()
+	if seed%2 != 0 {
+		nv++
+	}
+	e := face.NewEncoding(p.N(), nv)
+	for s, code := range rng.Perm(1 << uint(nv))[:p.N()] {
+		e.Codes[s] = uint64(code)
+	}
+	return e
+}
+
+// FuzzMinimizerDifferential checks the differential minimizer oracles on
+// random encodings of random instances: espresso vs the exact cover, the
+// ON/OFF containment contract, the BDD cross-evaluation, and the
+// metamorphic invariants.
+func FuzzMinimizerDifferential(f *testing.F) {
+	f.Add(int64(1), int64(0))
+	f.Add(int64(9), int64(5))
+	f.Add(int64(1234), int64(2))
+	f.Fuzz(func(t *testing.T, seed, size int64) {
+		p := fuzzProblem(seed, size)
+		e := randomEncoding(p, seed)
+		rep := &verify.Report{}
+		rep.Merge(verify.CheckEncoding(p, e))
+		rep.Merge(verify.CheckMinimization(p, e, nil))
+		rep.Merge(verify.CheckCost(p, e, nil))
+		rep.Merge(verify.CheckMetamorphic(p, e, seed))
+		if rep.Ok() {
+			return
+		}
+		fails := func(q *face.Problem) bool {
+			if q.N() < 2 {
+				return false
+			}
+			qe := randomEncoding(q, seed)
+			r := &verify.Report{}
+			r.Merge(verify.CheckEncoding(q, qe))
+			r.Merge(verify.CheckMinimization(q, qe, nil))
+			r.Merge(verify.CheckCost(q, qe, nil))
+			r.Merge(verify.CheckMetamorphic(q, qe, seed))
+			return !r.Ok()
+		}
+		shrunk := verify.Shrink(p, fails, 100)
+		t.Fatalf("oracle failures: %v\nshrunk repro:\n%s", rep.Err(), verify.Repro(shrunk))
+	})
+}

@@ -1,0 +1,171 @@
+// Metamorphic properties: transformations of an (instance, encoding)
+// pair under which the minimized cube counts are mathematically
+// invariant — column permutation and complementation (cube structure is
+// preserved bit for bit), simultaneous symbol permutation of problem and
+// encoding (a relabeling), and constraint reordering (the metric is a
+// per-constraint sum). Running the evaluator on both sides of each
+// transformation exercises the minimizers on isomorphic inputs that take
+// entirely different internal paths; any count difference convicts a
+// minimizer or evaluator bug.
+package verify
+
+import (
+	"math/rand"
+
+	"picola/internal/eval"
+	"picola/internal/face"
+)
+
+// PermuteSymbols relabels the problem's symbols: old symbol s becomes
+// perm[s]. Constraint order and weights are preserved.
+func PermuteSymbols(p *face.Problem, perm []int) *face.Problem {
+	n := p.N()
+	q := &face.Problem{Name: p.Name, Names: make([]string, n)}
+	for s := 0; s < n; s++ {
+		q.Names[perm[s]] = p.Names[s]
+	}
+	for i, c := range p.Constraints {
+		nc := face.NewConstraint(n)
+		for _, m := range c.Members() {
+			nc.Add(perm[m])
+		}
+		q.Constraints = append(q.Constraints, nc)
+		q.Weights = append(q.Weights, p.Weight(i))
+	}
+	return q
+}
+
+// PermuteEncodingSymbols applies the same relabeling to an encoding: old
+// symbol s's code moves to slot perm[s].
+func PermuteEncodingSymbols(e *face.Encoding, perm []int) *face.Encoding {
+	out := face.NewEncoding(e.N(), e.NV)
+	for s, c := range e.Codes {
+		out.Codes[perm[s]] = c
+	}
+	return out
+}
+
+// PermuteColumns reorders the code columns: old column c becomes
+// perm[c].
+func PermuteColumns(e *face.Encoding, perm []int) *face.Encoding {
+	out := face.NewEncoding(e.N(), e.NV)
+	for s := 0; s < e.N(); s++ {
+		for col := 0; col < e.NV; col++ {
+			out.SetBit(s, perm[col], e.Bit(s, col))
+		}
+	}
+	return out
+}
+
+// ComplementColumns flips every code bit selected by mask (a bit per
+// column).
+func ComplementColumns(e *face.Encoding, mask uint64) *face.Encoding {
+	out := face.NewEncoding(e.N(), e.NV)
+	mask &= nvMask(e.NV)
+	for s, c := range e.Codes {
+		out.Codes[s] = (c ^ mask) & nvMask(e.NV)
+	}
+	return out
+}
+
+// ReorderConstraints permutes the constraint list (and weights): old
+// constraint i becomes perm[i].
+func ReorderConstraints(p *face.Problem, perm []int) *face.Problem {
+	q := &face.Problem{Name: p.Name, Names: append([]string(nil), p.Names...)}
+	q.Constraints = make([]face.Constraint, len(p.Constraints))
+	q.Weights = make([]int, len(p.Constraints))
+	for i, c := range p.Constraints {
+		q.Constraints[perm[i]] = c
+		q.Weights[perm[i]] = p.Weight(i)
+	}
+	return q
+}
+
+// metaVariant is one transformed (problem, encoding) pair plus the map
+// from the variant's constraint indices back to the base problem's.
+type metaVariant struct {
+	name string
+	p    *face.Problem
+	e    *face.Encoding
+	// conOf[j] is the base-problem constraint index of variant
+	// constraint j (identity when nil).
+	conOf []int
+}
+
+// CheckMetamorphic evaluates the encoding on the base instance and on a
+// deterministic battery of isomorphic transformations (derived from
+// seed): reversed and random column permutations, full and random column
+// complementation, a simultaneous symbol permutation, and reversed and
+// random constraint reorderings. Total, weighted total, satisfied count
+// and every per-constraint cube count must be invariant.
+func CheckMetamorphic(p *face.Problem, e *face.Encoding, seed int64) *Report {
+	mChecks.Inc()
+	rep := &Report{}
+	if e == nil || e.N() != p.N() {
+		rep.addf("shape", -1, "encoding incompatible with problem")
+		return rep
+	}
+	base, err := eval.Evaluate(p, e)
+	if err != nil {
+		rep.addf("metamorphic", -1, "base evaluation failed: %v", err)
+		return rep
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n, nv, nc := p.N(), e.NV, len(p.Constraints)
+
+	revCols := make([]int, nv)
+	for c := range revCols {
+		revCols[c] = nv - 1 - c
+	}
+	revCons := make([]int, nc)
+	for i := range revCons {
+		revCons[i] = nc - 1 - i
+	}
+	symPerm := rng.Perm(n)
+	variants := []metaVariant{
+		{name: "columns-reversed", p: p, e: PermuteColumns(e, revCols)},
+		{name: "columns-permuted", p: p, e: PermuteColumns(e, rng.Perm(nv))},
+		{name: "columns-complemented", p: p, e: ComplementColumns(e, nvMask(nv))},
+		{name: "columns-part-complemented", p: p,
+			e: ComplementColumns(e, uint64(rng.Int63())&nvMask(nv))},
+		{name: "symbols-permuted", p: PermuteSymbols(p, symPerm),
+			e: PermuteEncodingSymbols(e, symPerm)},
+		{name: "constraints-reversed", p: ReorderConstraints(p, revCons),
+			e: e, conOf: revCons},
+	}
+	if nc > 1 {
+		cp := rng.Perm(nc)
+		variants = append(variants, metaVariant{
+			name: "constraints-permuted", p: ReorderConstraints(p, cp), e: e, conOf: cp})
+	}
+
+	for _, v := range variants {
+		got, err := eval.Evaluate(v.p, v.e)
+		if err != nil {
+			rep.addf("metamorphic", -1, "%s: evaluation failed: %v", v.name, err)
+			continue
+		}
+		if got.Total != base.Total {
+			rep.addf("metamorphic", -1, "%s: total cubes %d, base %d", v.name, got.Total, base.Total)
+		}
+		if got.WeightedTotal != base.WeightedTotal {
+			rep.addf("metamorphic", -1, "%s: weighted total %d, base %d",
+				v.name, got.WeightedTotal, base.WeightedTotal)
+		}
+		if got.SatisfiedCount != base.SatisfiedCount {
+			rep.addf("metamorphic", -1, "%s: satisfied %d, base %d",
+				v.name, got.SatisfiedCount, base.SatisfiedCount)
+		}
+		for i := range p.Constraints {
+			j := i
+			if v.conOf != nil {
+				j = v.conOf[i]
+			}
+			if got.Cubes[j] != base.Cubes[i] {
+				rep.addf("metamorphic", i, "%s: constraint costs %d cubes, base %d",
+					v.name, got.Cubes[j], base.Cubes[i])
+			}
+		}
+	}
+	return rep
+}

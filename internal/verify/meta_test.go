@@ -1,0 +1,128 @@
+package verify_test
+
+import (
+	"testing"
+
+	"picola/internal/consfile"
+	"picola/internal/core"
+	"picola/internal/face"
+	"picola/internal/verify"
+)
+
+func parse(t *testing.T, src string) *face.Problem {
+	t.Helper()
+	p, err := consfile.ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+const smallSrc = `.symbols a b c d e
+11010 2
+00111
+`
+
+func TestPermuteSymbolsRoundTrip(t *testing.T) {
+	p := parse(t, smallSrc)
+	perm := []int{2, 0, 4, 1, 3}
+	inv := make([]int, len(perm))
+	for i, v := range perm {
+		inv[v] = i
+	}
+	back := verify.PermuteSymbols(verify.PermuteSymbols(p, perm), inv)
+	if back.String() != p.String() {
+		t.Fatalf("permute/invert changed the problem:\n%s\nvs\n%s", back, p)
+	}
+	for i := range p.Constraints {
+		if back.Weight(i) != p.Weight(i) {
+			t.Fatalf("constraint %d weight %d, want %d", i, back.Weight(i), p.Weight(i))
+		}
+	}
+	q := verify.PermuteSymbols(p, perm)
+	for s, name := range p.Names {
+		if q.Names[perm[s]] != name {
+			t.Fatalf("symbol %d name not carried to slot %d", s, perm[s])
+		}
+	}
+}
+
+func TestPermuteEncodingSymbolsFollowsProblem(t *testing.T) {
+	p := parse(t, smallSrc)
+	r, err := core.Encode(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm := []int{4, 3, 2, 1, 0}
+	q := verify.PermuteSymbols(p, perm)
+	qe := verify.PermuteEncodingSymbols(r.Encoding, perm)
+	for s := 0; s < p.N(); s++ {
+		if qe.Codes[perm[s]] != r.Encoding.Codes[s] {
+			t.Fatalf("code of symbol %d not carried to slot %d", s, perm[s])
+		}
+	}
+	if err := verify.CheckEncoding(q, qe, verify.Options{RequireMinLength: true}).Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComplementColumnsInvolution(t *testing.T) {
+	p := parse(t, smallSrc)
+	r, err := core.Encode(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := r.Encoding
+	mask := uint64(0b101)
+	back := verify.ComplementColumns(verify.ComplementColumns(e, mask), mask)
+	for s := range e.Codes {
+		if back.Codes[s] != e.Codes[s] {
+			t.Fatalf("double complement changed code of symbol %d", s)
+		}
+	}
+}
+
+func TestPermuteColumnsPreservesBits(t *testing.T) {
+	p := parse(t, smallSrc)
+	r, err := core.Encode(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := r.Encoding
+	perm := make([]int, e.NV)
+	for c := range perm {
+		perm[c] = (c + 1) % e.NV
+	}
+	q := verify.PermuteColumns(e, perm)
+	for s := 0; s < e.N(); s++ {
+		for c := 0; c < e.NV; c++ {
+			if q.Bit(s, perm[c]) != e.Bit(s, c) {
+				t.Fatalf("symbol %d: column %d bit not moved to %d", s, c, perm[c])
+			}
+		}
+	}
+}
+
+func TestReorderConstraintsCarriesWeights(t *testing.T) {
+	p := parse(t, smallSrc)
+	perm := []int{1, 0}
+	q := verify.ReorderConstraints(p, perm)
+	for i, c := range p.Constraints {
+		if !q.Constraints[perm[i]].Equal(c) {
+			t.Fatalf("constraint %d not moved to slot %d", i, perm[i])
+		}
+		if q.Weight(perm[i]) != p.Weight(i) {
+			t.Fatalf("weight of constraint %d not carried to slot %d", i, perm[i])
+		}
+	}
+}
+
+func TestCheckMetamorphicShapeMismatch(t *testing.T) {
+	p := parse(t, smallSrc)
+	if verify.CheckMetamorphic(p, face.NewEncoding(p.N()+1, 3), 1).Ok() {
+		t.Fatal("encoding of the wrong size accepted")
+	}
+	if verify.CheckMetamorphic(p, nil, 1).Ok() {
+		t.Fatal("nil encoding accepted")
+	}
+}

@@ -1,0 +1,182 @@
+// Greedy instance shrinker: given a predicate that holds on a failing
+// instance, repeatedly tries structural reductions (drop a constraint,
+// drop a symbol, drop a constraint member, flatten weights) and keeps
+// every reduction that preserves the failure, iterating to a fixpoint.
+// Shrunk counterexamples are reported in consfile syntax so they can be
+// replayed directly with cmd/picola or cmd/verify.
+package verify
+
+import (
+	"picola/internal/consfile"
+	"picola/internal/face"
+)
+
+// Predicate reports whether the instance still exhibits the failure
+// being minimized. It must be deterministic: Shrink calls it many times
+// and assumes stable answers.
+type Predicate func(*face.Problem) bool
+
+// DefaultShrinkBudget bounds the number of predicate calls a Shrink run
+// may spend; each call typically re-runs an encoder plus the oracle.
+const DefaultShrinkBudget = 400
+
+// Shrink returns the smallest instance it can derive from p on which
+// fails still holds, spending at most budget predicate calls
+// (DefaultShrinkBudget if budget <= 0). The input problem is never
+// mutated. If fails does not hold on p itself, p is returned unchanged.
+func Shrink(p *face.Problem, fails Predicate, budget int) *face.Problem {
+	if budget <= 0 {
+		budget = DefaultShrinkBudget
+	}
+	calls := 0
+	try := func(q *face.Problem) bool {
+		// Keep every candidate replayable as a consfile repro: at least
+		// two symbols and one constraint.
+		if q.N() < 2 || len(q.Constraints) == 0 {
+			return false
+		}
+		if calls >= budget {
+			return false
+		}
+		calls++
+		return fails(q)
+	}
+	if !try(p) {
+		return p
+	}
+	cur := cloneProblem(p)
+	for calls < budget {
+		changed := false
+		if shrinkConstraints(&cur, try) {
+			changed = true
+		}
+		if shrinkSymbols(&cur, try) {
+			changed = true
+		}
+		if shrinkMembers(&cur, try) {
+			changed = true
+		}
+		if shrinkWeights(&cur, try) {
+			changed = true
+		}
+		if !changed {
+			break
+		}
+	}
+	return cur
+}
+
+// Repro renders a shrunk instance in consfile syntax for replay.
+func Repro(p *face.Problem) string { return consfile.String(p) }
+
+func cloneProblem(p *face.Problem) *face.Problem {
+	q := &face.Problem{
+		Name:    p.Name,
+		Names:   append([]string(nil), p.Names...),
+		Weights: make([]int, len(p.Constraints)),
+	}
+	for i, c := range p.Constraints {
+		q.Constraints = append(q.Constraints, c.Clone())
+		q.Weights[i] = p.Weight(i)
+	}
+	return q
+}
+
+// shrinkConstraints tries to delete whole constraints, scanning from the
+// end so surviving indices stay valid.
+func shrinkConstraints(cur **face.Problem, try func(*face.Problem) bool) bool {
+	changed := false
+	for i := len((*cur).Constraints) - 1; i >= 0; i-- {
+		q := cloneProblem(*cur)
+		q.Constraints = append(q.Constraints[:i], q.Constraints[i+1:]...)
+		q.Weights = append(q.Weights[:i], q.Weights[i+1:]...)
+		if try(q) {
+			*cur = q
+			changed = true
+		}
+	}
+	return changed
+}
+
+// shrinkSymbols tries to delete symbols, reindexing every constraint and
+// dropping constraints that become trivial (fewer than two members, or
+// covering every remaining symbol).
+func shrinkSymbols(cur **face.Problem, try func(*face.Problem) bool) bool {
+	changed := false
+	for s := (*cur).N() - 1; s >= 0; s-- {
+		if (*cur).N() <= 2 {
+			break
+		}
+		q := dropSymbol(*cur, s)
+		if try(q) {
+			*cur = q
+			changed = true
+		}
+	}
+	return changed
+}
+
+// dropSymbol removes symbol s from p, shifting higher symbols down.
+func dropSymbol(p *face.Problem, s int) *face.Problem {
+	n := p.N()
+	q := &face.Problem{Name: p.Name}
+	for i, name := range p.Names {
+		if i != s {
+			q.Names = append(q.Names, name)
+		}
+	}
+	for i, c := range p.Constraints {
+		nc := face.NewConstraint(n - 1)
+		for _, m := range c.Members() {
+			switch {
+			case m < s:
+				nc.Add(m)
+			case m > s:
+				nc.Add(m - 1)
+			}
+		}
+		if k := nc.Count(); k < 2 || k >= n-1 {
+			continue
+		}
+		q.Constraints = append(q.Constraints, nc)
+		q.Weights = append(q.Weights, p.Weight(i))
+	}
+	return q
+}
+
+// shrinkMembers tries to remove individual members from constraints that
+// have more than two.
+func shrinkMembers(cur **face.Problem, try func(*face.Problem) bool) bool {
+	changed := false
+	for i := 0; i < len((*cur).Constraints); i++ {
+		for _, m := range (*cur).Constraints[i].Members() {
+			if (*cur).Constraints[i].Count() <= 2 {
+				break
+			}
+			q := cloneProblem(*cur)
+			q.Constraints[i].Remove(m)
+			if try(q) {
+				*cur = q
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// shrinkWeights tries to flatten non-unit weights to 1.
+func shrinkWeights(cur **face.Problem, try func(*face.Problem) bool) bool {
+	changed := false
+	for i := range (*cur).Constraints {
+		if (*cur).Weight(i) == 1 {
+			continue
+		}
+		q := cloneProblem(*cur)
+		q.Weights[i] = 1
+		if try(q) {
+			*cur = q
+			changed = true
+		}
+	}
+	return changed
+}

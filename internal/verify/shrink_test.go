@@ -1,0 +1,82 @@
+package verify_test
+
+import (
+	"testing"
+
+	"picola/internal/consfile"
+	"picola/internal/face"
+	"picola/internal/verify"
+)
+
+const shrinkSrc = `.symbols s1 s2 s3 s4 s5 s6 s7 s8
+11110000 3
+00111100
+00001111
+11000011
+`
+
+func TestShrinkToMinimal(t *testing.T) {
+	p := parse(t, shrinkSrc)
+	// Failure mode: "the instance has at least one constraint". The
+	// greedy passes must drive this to the smallest instance that can
+	// carry a constraint at all: 3 symbols, one 2-member constraint.
+	fails := func(q *face.Problem) bool { return len(q.Constraints) >= 1 }
+	shrunk := verify.Shrink(p, fails, 0)
+	if !fails(shrunk) {
+		t.Fatal("shrunk instance no longer fails")
+	}
+	if shrunk.N() != 3 {
+		t.Fatalf("shrunk to %d symbols, want 3", shrunk.N())
+	}
+	if len(shrunk.Constraints) != 1 {
+		t.Fatalf("shrunk to %d constraints, want 1", len(shrunk.Constraints))
+	}
+	if got := shrunk.Constraints[0].Count(); got != 2 {
+		t.Fatalf("shrunk constraint has %d members, want 2", got)
+	}
+	if shrunk.Weight(0) != 1 {
+		t.Fatalf("shrunk weight %d, want 1", shrunk.Weight(0))
+	}
+}
+
+func TestShrinkInputUntouched(t *testing.T) {
+	p := parse(t, shrinkSrc)
+	before := consfile.String(p)
+	verify.Shrink(p, func(q *face.Problem) bool { return len(q.Constraints) >= 1 }, 0)
+	if consfile.String(p) != before {
+		t.Fatal("Shrink mutated its input")
+	}
+}
+
+func TestShrinkNonFailingReturnsInput(t *testing.T) {
+	p := parse(t, shrinkSrc)
+	if got := verify.Shrink(p, func(*face.Problem) bool { return false }, 0); got != p {
+		t.Fatal("non-failing input not returned unchanged")
+	}
+}
+
+func TestShrinkBudget(t *testing.T) {
+	p := parse(t, shrinkSrc)
+	calls := 0
+	verify.Shrink(p, func(q *face.Problem) bool {
+		calls++
+		return len(q.Constraints) >= 1
+	}, 7)
+	if calls > 7 {
+		t.Fatalf("%d predicate calls, budget was 7", calls)
+	}
+}
+
+func TestReproRoundTrip(t *testing.T) {
+	p := parse(t, shrinkSrc)
+	back, err := consfile.ParseString(verify.Repro(p))
+	if err != nil {
+		t.Fatalf("repro does not parse: %v", err)
+	}
+	if back.N() != p.N() || len(back.Constraints) != len(p.Constraints) {
+		t.Fatal("repro round trip changed the instance")
+	}
+	if back.Weight(0) != p.Weight(0) {
+		t.Fatalf("repro weight %d, want %d", back.Weight(0), p.Weight(0))
+	}
+}

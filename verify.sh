@@ -22,6 +22,12 @@ done
 go test ./...
 go test -race ./...
 
+# The semantic verification oracle (internal/verify) must clear the
+# committed corpora plus a deterministic batch of random instances:
+# every encoding re-proved valid from first principles, minimizations
+# cross-checked against the exact cover, metamorphic invariants intact.
+go run ./cmd/verify -random 8 -seed 1 testdata/figure1.cons testdata/infeasible.cons
+
 # The parallel execution layer must be bit-deterministic at every worker
 # count: run the determinism suite under the race detector at both ends
 # of the GOMAXPROCS range (the env propagates to the cmd/tables
