@@ -19,14 +19,18 @@ package picola
 
 import (
 	"io"
+	"math/rand"
 	"testing"
 
 	"picola/internal/baseline/enc"
 	"picola/internal/baseline/nova"
 	"picola/internal/benchgen"
 	"picola/internal/core"
+	"picola/internal/cover"
+	"picola/internal/cube"
 	"picola/internal/espresso"
 	"picola/internal/eval"
+	"picola/internal/exact"
 	"picola/internal/face"
 	"picola/internal/obs"
 	"picola/internal/power"
@@ -284,6 +288,153 @@ func BenchmarkObsOverhead(b *testing.B) {
 			}
 		}
 	})
+}
+
+// benchCubePairs builds a deterministic batch of random cube pairs over d
+// (each variable constrained to a random value with probability 1/2).
+func benchCubePairs(d *cube.Domain, n int, seed int64) [][2]cube.Cube {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][2]cube.Cube, n)
+	for i := range out {
+		for j := 0; j < 2; j++ {
+			c := d.Universe()
+			for v := 0; v < d.NumVars(); v++ {
+				if rng.Intn(2) == 0 {
+					d.Restrict(c, v, rng.Intn(d.Size(v)))
+				}
+			}
+			out[i][j] = c
+		}
+	}
+	return out
+}
+
+// Benchmark sinks: keep results observable so the compiler cannot
+// eliminate the measured call.
+var (
+	benchSinkInt  int
+	benchSinkBool bool
+)
+
+// BenchmarkCubeKernels compares the single-word cube kernels against the
+// generic span-loop reference on identical data: the generic runs use
+// Domain.Generic(), the kernels-disabled view of the same 8-variable
+// binary domain. The sub-benchmark leaf names (kernel|generic) are the
+// benchstat axis:
+//
+//	go test -bench=CubeKernels -count=10 | tee kernels.txt
+//	benchstat -col /path kernels.txt   # after s/…\/(kernel|generic)/path=\1/
+func BenchmarkCubeKernels(b *testing.B) {
+	d := cube.Binary(8)
+	pairs := benchCubePairs(d, 256, 11)
+	// A genuine tautology (all 16 assignments of the first 4 variables,
+	// rest free) so both paths recurse instead of quick-rejecting.
+	var tautCubes []cube.Cube
+	for x := 0; x < 16; x++ {
+		c := d.Universe()
+		for v := 0; v < 4; v++ {
+			d.Restrict(c, v, x>>uint(v)&1)
+		}
+		tautCubes = append(tautCubes, c)
+	}
+	dst := d.NewCube()
+	for _, path := range []struct {
+		name string
+		d    *cube.Domain
+	}{{"kernel", d}, {"generic", d.Generic()}} {
+		dd := path.d
+		b.Run("intersect/"+path.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p := pairs[i%len(pairs)]
+				benchSinkBool = dd.Intersect(dst, p[0], p[1])
+			}
+		})
+		b.Run("distance/"+path.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p := pairs[i%len(pairs)]
+				benchSinkInt = dd.Distance(p[0], p[1])
+			}
+		})
+		b.Run("cofactor/"+path.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p := pairs[i%len(pairs)]
+				benchSinkBool = dd.Cofactor(dst, p[0], p[1])
+			}
+		})
+		b.Run("consensus/"+path.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p := pairs[i%len(pairs)]
+				benchSinkBool = dd.Consensus(dst, p[0], p[1])
+			}
+		})
+		b.Run("tautology/"+path.name, func(b *testing.B) {
+			f := &cover.Cover{D: dd, Cubes: tautCubes}
+			for i := 0; i < b.N; i++ {
+				benchSinkBool = f.Tautology()
+			}
+		})
+	}
+}
+
+// BenchmarkMinimizeSmall measures whole minimizer runs on a small random
+// fr-form function — the constraint-scoring shape — under the single-word
+// kernels and under the generic reference domain.
+func BenchmarkMinimizeSmall(b *testing.B) {
+	const inputs = 5
+	d := cube.Binary(inputs)
+	rng := rand.New(rand.NewSource(7))
+	on, off := cover.New(d), cover.New(d)
+	for x := 0; x < 1<<inputs; x++ {
+		c := d.NewCube()
+		for v := 0; v < inputs; v++ {
+			d.Set(c, v, x>>uint(v)&1)
+		}
+		switch rng.Intn(3) {
+		case 0:
+			on.Add(c)
+		case 1:
+			off.Add(c)
+		}
+	}
+	for _, path := range []struct {
+		name string
+		d    *cube.Domain
+	}{{"kernel", d}, {"generic", d.Generic()}} {
+		dd := path.d
+		onc := &cover.Cover{D: dd, Cubes: on.Cubes}
+		offc := &cover.Cover{D: dd, Cubes: off.Cubes}
+		b.Run("espresso/"+path.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				f := &espresso.Function{D: dd, On: onc, Off: offc}
+				mc, err := espresso.Minimize(f)
+				if err != nil {
+					b.Fatal(err)
+				}
+				benchSinkInt = mc.Len()
+			}
+		})
+		b.Run("exact/"+path.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				f := &espresso.Function{D: dd, On: onc, Off: offc}
+				mc, err := exact.Minimize(f, inputs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				benchSinkInt = mc.Len()
+			}
+		})
+		b.Run("exact-counter/"+path.name, func(b *testing.B) {
+			var ct exact.Counter
+			for i := 0; i < b.N; i++ {
+				f := &espresso.Function{D: dd, On: onc, Off: offc}
+				n, err := ct.Count(f, inputs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				benchSinkInt = n
+			}
+		})
+	}
 }
 
 // BenchmarkEspresso measures the two-level minimizer substrate on the

@@ -88,6 +88,7 @@ func TestSeedrandFixture(t *testing.T) { checkFixture(t, Seedrand) }
 func TestSpanendFixture(t *testing.T)  { checkFixture(t, Spanend) }
 func TestDropperrFixture(t *testing.T) { checkFixture(t, Dropperr) }
 func TestTracenilFixture(t *testing.T) { checkFixture(t, Tracenil) }
+func TestPoolputFixture(t *testing.T)  { checkFixture(t, Poolput) }
 
 // TestDetrangeScope: map ranges outside the deterministic package set
 // are not detrange's business (blif writes files, never tables).

@@ -1,0 +1,149 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Poolput flags sync.Pool.Get calls whose object is not returned to the
+// pool: either no Put on the same pool expression follows in the function,
+// or a return statement sits between the Get and the first such Put so one
+// path leaks the object. A deferred Put on the same pool anywhere in the
+// function satisfies every path and is the preferred shape.
+//
+// The check is per function literal (a Get inside a closure must be paired
+// inside that closure) and keys pools by their source expression, so
+// distinct pools in one function are tracked independently. Deliberate
+// ownership transfers (returning a pooled object to a caller that Puts it)
+// are justified with lint:ignore.
+var Poolput = &Analyzer{
+	Name: "poolput",
+	Doc:  "sync.Pool.Get without a matching Put on every return path in internal code",
+	Run:  runPoolput,
+}
+
+// poolScope accumulates the pool traffic of one function body.
+type poolScope struct {
+	gets []poolOp
+	puts []poolOp
+	rets []token.Pos
+}
+
+type poolOp struct {
+	pos      token.Pos
+	key      string // canonical source text of the pool expression
+	deferred bool
+}
+
+func runPoolput(p *Pass) []Diagnostic {
+	if !strings.Contains(p.ImportPath, "/internal/") {
+		return nil
+	}
+	scopes := map[ast.Node]*poolScope{}
+	var order []ast.Node // deterministic report order
+	scopeOf := func(stack []ast.Node) *poolScope {
+		for i := len(stack) - 2; i >= 0; i-- {
+			switch stack[i].(type) {
+			case *ast.FuncDecl, *ast.FuncLit:
+				s := scopes[stack[i]]
+				if s == nil {
+					s = &poolScope{}
+					scopes[stack[i]] = s
+					order = append(order, stack[i])
+				}
+				return s
+			}
+		}
+		return nil
+	}
+	inspect(p.Files, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			if s := scopeOf(stack); s != nil {
+				s.rets = append(s.rets, n.Pos())
+			}
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok || !isSyncPool(p.Info.TypeOf(sel.X)) {
+				return true
+			}
+			s := scopeOf(stack)
+			if s == nil {
+				return true
+			}
+			op := poolOp{pos: n.Pos(), key: types.ExprString(sel.X)}
+			switch sel.Sel.Name {
+			case "Get":
+				s.gets = append(s.gets, op)
+			case "Put":
+				if d, ok := stack[len(stack)-2].(*ast.DeferStmt); ok && d.Call == n {
+					op.deferred = true
+				}
+				s.puts = append(s.puts, op)
+			}
+		}
+		return true
+	})
+
+	var out []Diagnostic
+	for _, fn := range order {
+		s := scopes[fn]
+		for _, g := range s.gets {
+			if diag := checkPoolGet(p, s, g); diag != nil {
+				out = append(out, *diag)
+			}
+		}
+	}
+	return out
+}
+
+// checkPoolGet decides whether one Get is safely paired inside its scope.
+func checkPoolGet(p *Pass, s *poolScope, g poolOp) *Diagnostic {
+	firstPut := token.Pos(-1)
+	for _, put := range s.puts {
+		if put.key != g.key {
+			continue
+		}
+		if put.deferred {
+			return nil // a deferred Put covers every return path
+		}
+		if put.pos > g.pos && (firstPut < 0 || put.pos < firstPut) {
+			firstPut = put.pos
+		}
+	}
+	if firstPut < 0 {
+		return &Diagnostic{
+			Pos:      p.Fset.Position(g.pos),
+			Analyzer: "poolput",
+			Message:  "object from " + g.key + ".Get is never Put back in this function; pair it (prefer defer " + g.key + ".Put)",
+		}
+	}
+	for _, r := range s.rets {
+		if g.pos < r && r < firstPut {
+			return &Diagnostic{
+				Pos:      p.Fset.Position(g.pos),
+				Analyzer: "poolput",
+				Message:  "a return between " + g.key + ".Get and " + g.key + ".Put leaks the pooled object; use defer " + g.key + ".Put",
+			}
+		}
+	}
+	return nil
+}
+
+// isSyncPool reports whether t is (a pointer to) sync.Pool.
+func isSyncPool(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return pkgPathOf(obj) == "sync" && obj.Name() == "Pool"
+}

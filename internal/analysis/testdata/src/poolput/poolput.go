@@ -1,0 +1,91 @@
+// Package poolput is the analyzer fixture: each line marked `want` must
+// be flagged, every other line must stay clean.
+package poolput
+
+import "sync"
+
+var pool = sync.Pool{New: func() any { return new([]byte) }}
+
+var other = sync.Pool{New: func() any { return new(int) }}
+
+// BadNoPut checks the object out and never returns it.
+func BadNoPut() int {
+	b := pool.Get().(*[]byte) // want "never Put back"
+	return len(*b)
+}
+
+// BadEarlyReturn leaks on the error path: a return sits between the Get
+// and the only Put.
+func BadEarlyReturn(fail bool) {
+	b := pool.Get().(*[]byte) // want "return between"
+	if fail {
+		return
+	}
+	pool.Put(b)
+}
+
+// BadWrongPool returns the object to a different pool; the matching pool
+// never sees a Put.
+func BadWrongPool() {
+	b := pool.Get().(*[]byte) // want "never Put back"
+	other.Put(b)
+}
+
+// GoodDefer is the preferred shape: a deferred Put covers every path.
+func GoodDefer(fail bool) {
+	b := pool.Get().(*[]byte)
+	defer pool.Put(b)
+	if fail {
+		return
+	}
+	*b = (*b)[:0]
+}
+
+// GoodStraight puts the object back on the single fall-through path.
+func GoodStraight() {
+	b := pool.Get().(*[]byte)
+	*b = (*b)[:0]
+	pool.Put(b)
+}
+
+// GoodTwoPools pairs each pool independently.
+func GoodTwoPools() {
+	b := pool.Get().(*[]byte)
+	defer pool.Put(b)
+	n := other.Get().(*int)
+	defer other.Put(n)
+	_, _ = b, n
+}
+
+// GoodPtrParam tracks a pool passed by pointer.
+func GoodPtrParam(p *sync.Pool) {
+	v := p.Get()
+	defer p.Put(v)
+}
+
+// GoodTransfer hands ownership to the caller, which is responsible for
+// the Put — the justified escape hatch.
+func GoodTransfer() *[]byte {
+	//lint:ignore poolput ownership transfers to the caller, which Puts it
+	return pool.Get().(*[]byte)
+}
+
+// GoodClosure: the Get inside the closure is paired inside the closure,
+// and the outer function's returns do not count against it.
+func GoodClosure(run func(func())) {
+	run(func() {
+		b := pool.Get().(*[]byte)
+		defer pool.Put(b)
+		_ = b
+	})
+}
+
+// BadClosure: the closure checks out and leaks; the Put in the outer
+// function body is a different scope.
+func BadClosure(run func(func()) *[]byte) {
+	var b *[]byte
+	run(func() {
+		b = pool.Get().(*[]byte) // want "never Put back"
+	})
+	pool.Put(b)
+}

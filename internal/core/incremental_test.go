@@ -1,0 +1,146 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"picola/internal/eval"
+	"picola/internal/face"
+)
+
+// randomCarryProblem builds a small random problem the exact-polish pass
+// actually runs on (n ≤ 32, so spare codes exist at minimum length).
+func randomCarryProblem(r *rand.Rand) *face.Problem {
+	n := 3 + r.Intn(14)
+	p := &face.Problem{Names: make([]string, n)}
+	for k := 0; k < 1+r.Intn(6); k++ {
+		c := face.NewConstraint(n)
+		for s := 0; s < n; s++ {
+			if r.Intn(3) == 0 {
+				c.Add(s)
+			}
+		}
+		if c.Count() == 0 {
+			c.Add(r.Intn(n))
+		}
+		p.AddConstraint(c)
+	}
+	return p
+}
+
+// TestPolishCarryParity is the dirty-rescore parity gate: with the
+// spare-move carry disabled (full rescore of every constraint on every
+// candidate move — the reference behavior), Encode must produce the exact
+// same encoding as with the carry on. The carry also must not disturb the
+// evaluation-budget trajectory, so equality of the full code vector is the
+// strongest possible check.
+func TestPolishCarryParity(t *testing.T) {
+	defer func() { polishFullRescore = false }()
+	r := rand.New(rand.NewSource(47))
+	problems := []*face.Problem{paperProblem()}
+	for trial := 0; trial < 20; trial++ {
+		problems = append(problems, randomCarryProblem(r))
+	}
+	for pi, p := range problems {
+		polishFullRescore = false
+		fast, err := Encode(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		polishFullRescore = true
+		slow, err := Encode(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(fast.Encoding.Codes) != fmt.Sprint(slow.Encoding.Codes) {
+			t.Fatalf("problem %d: carry changed the encoding\ncarry: %v\nfull:  %v",
+				pi, fast.Encoding.Codes, slow.Encoding.Codes)
+		}
+		cf, err := eval.Evaluate(p, fast.Encoding)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs, err := eval.Evaluate(p, slow.Encoding)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cf.Total != cs.Total || cf.WeightedTotal != cs.WeightedTotal {
+			t.Fatalf("problem %d: cost diverged: carry %d/%d, full %d/%d",
+				pi, cf.Total, cf.WeightedTotal, cs.Total, cs.WeightedTotal)
+		}
+	}
+}
+
+// TestPolishCarryFires guards against the carry silently dying: on the
+// paper problem, at least one constraint evaluation must be answered by
+// the dirty-set carry rather than a minimizer request.
+func TestPolishCarryFires(t *testing.T) {
+	before := mPolishCarried.Value()
+	if _, err := Encode(paperProblem()); err != nil {
+		t.Fatal(err)
+	}
+	if mPolishCarried.Value() == before {
+		t.Fatal("exact-polish carry never fired on the paper problem")
+	}
+}
+
+// TestColumnCostIncrementalParity replays every incremental column cost
+// solve computes against the generic columnCost oracle and demands
+// bit-identical floats (same rows, same order, same expressions — not an
+// epsilon comparison).
+func TestColumnCostIncrementalParity(t *testing.T) {
+	checked, mismatches := 0, 0
+	var firstMsg string
+	colCostOracle = func(e *encoder, col face.Constraint, got float64) {
+		checked++
+		if want := e.columnCost(col); got != want {
+			mismatches++
+			if firstMsg == "" {
+				firstMsg = fmt.Sprintf("incremental %v, generic %v (col %v)", got, want, col)
+			}
+		}
+	}
+	defer func() { colCostOracle = nil }()
+
+	r := rand.New(rand.NewSource(53))
+	if _, err := Encode(paperProblem()); err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 12; trial++ {
+		if _, err := Encode(randomCarryProblem(r)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("oracle never invoked: incremental scorer not wired into solve")
+	}
+	if mismatches != 0 {
+		t.Fatalf("%d of %d column costs diverged from the generic oracle; first: %s",
+			mismatches, checked, firstMsg)
+	}
+	t.Logf("%d column costs cross-checked", checked)
+}
+
+// TestWordInside pins the raw-word supercube membership the carry
+// predicate relies on.
+func TestWordInside(t *testing.T) {
+	b := bcube{agree: 0b0101, vals: 0b0001} // col0 fixed 1, col2 fixed 0
+	cases := []struct {
+		w    uint64
+		want bool
+	}{
+		{0b0001, true},
+		{0b1011, true},  // free columns may differ
+		{0b0000, false}, // col0 wrong
+		{0b0101, false}, // col2 wrong
+	}
+	for _, c := range cases {
+		if got := wordInside(c.w, b); got != c.want {
+			t.Errorf("wordInside(%04b) = %v, want %v", c.w, got, c.want)
+		}
+	}
+	if !wordInside(0xFFFF, bcube{}) {
+		t.Error("empty supercube summary must contain every word")
+	}
+}

@@ -37,6 +37,11 @@ var (
 	mInfeasible  = obs.Default.Counter("core.classify.infeasible")
 	mGuides      = obs.Default.Counter("core.guides")
 	mEstimates   = obs.Default.Counter("core.estimates")
+	// mPolishCarried counts exact-polish constraint evaluations answered by
+	// the dirty-set carry instead of a minimizer request. The carry decision
+	// is a pure function of the current codes, so the count is deterministic
+	// and identical at every cache/worker configuration.
+	mPolishCarried = obs.Default.Counter("core.polish.carried")
 	tPortfolio   = obs.Default.Timer("core.stage.portfolio")
 	tPolish      = obs.Default.Timer("core.stage.polish")
 	tExactPolish = obs.Default.Timer("core.stage.exact_polish")
@@ -459,6 +464,13 @@ func (e *encoder) exactCubes(c face.Constraint) (int, error) {
 	return e.opts.Cache.ConstraintCubes(e.enc, c)
 }
 
+// polishFullRescore disables the spare-move dirty-set carry so every
+// candidate move re-minimizes every constraint (the reference behavior).
+// The in-package parity test flips it to prove the carry is invisible:
+// identical encodings, costs, and budget trajectory. Never set outside
+// tests.
+var polishFullRescore bool
+
 // polishState carries the exact-polish bookkeeping.
 type polishState struct {
 	e        *encoder
@@ -467,6 +479,37 @@ type polishState struct {
 	spares   []uint64
 	evals    int
 	budget   int
+
+	// Spare-move scan scratch, refreshed per symbol by prepareSpareScan:
+	// newCost is the candidate cost vector; for each constraint, aMem
+	// records whether the moving symbol is a member and sup holds the
+	// members' code supercube (valid only when aMem is false).
+	newCost []int
+	sup     []bcube
+	aMem    []bool
+}
+
+// prepareSpareScan sizes the scan scratch and snapshots, for the symbol a
+// about to be moved, each constraint's membership bit and — for the
+// constraints a does not belong to — the supercube of its member codes.
+// Those supercubes stay valid across the whole spare scan of a: only a's
+// own code changes, and a is not a member of any constraint they describe.
+func (ps *polishState) prepareSpareScan(a int) {
+	r := len(ps.e.p.Constraints)
+	if cap(ps.newCost) < r {
+		ps.newCost = make([]int, r)
+		ps.sup = make([]bcube, r)
+		ps.aMem = make([]bool, r)
+	}
+	ps.newCost = ps.newCost[:r]
+	ps.sup = ps.sup[:r]
+	ps.aMem = ps.aMem[:r]
+	for i, c := range ps.e.p.Constraints {
+		ps.aMem[i] = c.Has(a)
+		if !ps.aMem[i] {
+			ps.sup[i], _ = supercubeOf(ps.e.enc, c)
+		}
+	}
 }
 
 func (ps *polishState) total() int {
@@ -520,25 +563,43 @@ func (ps *polishState) descend() error {
 	for pass := 0; pass < 8 && ps.evals < ps.budget; pass++ {
 		improved := false
 		for a := 0; a < n && ps.evals < ps.budget; a++ {
+			ps.prepareSpareScan(a)
 			for si := range ps.spares {
 				if ps.evals+r > ps.budget {
 					break
 				}
 				old := e.enc.Codes[a]
-				e.enc.Codes[a] = ps.spares[si]
+				nw := ps.spares[si]
+				e.enc.Codes[a] = nw
 				d := 0
-				newCost := make([]int, r)
-				var err error
 				for i := range e.p.Constraints {
-					newCost[i], err = e.exactCubes(e.p.Constraints[i])
+					// The budget counts evaluation requests, and a carried
+					// constraint charges exactly like a recomputed one, so
+					// the search trajectory is independent of the carry.
+					ps.evals++
+					if !polishFullRescore && !ps.aMem[i] &&
+						!wordInside(old, ps.sup[i]) && !wordInside(nw, ps.sup[i]) {
+						// Dirty tracking: a is not a member of constraint i
+						// and neither the vacated nor the occupied code lies
+						// in the members' supercube. A minimum cover of the
+						// members restricts to that supercube (intersecting
+						// each cube with it preserves coverage and OFF-set
+						// disjointness), so minterms outside it may switch
+						// between OFF and don't-care freely without changing
+						// the exact count — carry it forward.
+						ps.newCost[i] = ps.cost[i]
+						mPolishCarried.Inc()
+						continue
+					}
+					k, err := e.exactCubes(e.p.Constraints[i])
 					if err != nil {
 						return err
 					}
-					ps.evals++
-					d += e.p.Weight(i) * (newCost[i] - ps.cost[i])
+					ps.newCost[i] = k
+					d += e.p.Weight(i) * (k - ps.cost[i])
 				}
 				if d < 0 {
-					copy(ps.cost, newCost)
+					copy(ps.cost, ps.newCost)
 					ps.spares[si] = old
 					improved = true
 				} else {
@@ -1281,7 +1342,11 @@ func (e *encoder) solve(j int) face.Constraint {
 		}
 		count[prefix[s]] = c
 	}
-	base := e.columnCost(col)
+	cs := e.newColScorer(col)
+	base := cs.cost()
+	if colCostOracle != nil {
+		colCostOracle(e, col, base)
+	}
 	scans, applied := 1, 0
 	maxMoves := 6*e.n + 8
 	for move := 0; move < maxMoves; move++ {
@@ -1310,10 +1375,16 @@ func (e *encoder) solve(j int) face.Constraint {
 			if c[to]+1 > classCap {
 				continue // would overfill the target side
 			}
-			flip(col, s)
-			gain := e.columnCost(col) - base
+			cs.flip(s, from == 0)
+			cost := cs.cost()
 			scans++
-			flip(col, s)
+			if colCostOracle != nil {
+				flip(col, s)
+				colCostOracle(e, col, cost)
+				flip(col, s)
+			}
+			cs.flip(s, from == 1)
+			gain := cost - base
 			if bestS < 0 || gain > bestGain {
 				bestS, bestGain = s, gain
 			}
@@ -1329,6 +1400,7 @@ func (e *encoder) solve(j int) face.Constraint {
 			from = 1
 		}
 		flip(col, bestS)
+		cs.flip(bestS, from == 0)
 		c := count[prefix[bestS]]
 		c[from]--
 		c[1-from]++
@@ -1355,6 +1427,102 @@ func flip(col face.Constraint, s int) {
 // still unsatisfied, favoring constraints close to fulfillment — and,
 // through the guide rows, the economical implementation of infeasible
 // ones.
+// colCostOracle, when non-nil (tests only), receives every incremental
+// column cost next to the column it was computed for, so the parity test
+// can replay the generic columnCost and demand bit-identical floats.
+var colCostOracle func(e *encoder, col face.Constraint, got float64)
+
+// colScorer evaluates columnCost incrementally. Per active row it tracks
+// in = |members ∩ col| and u1 = |{s ∈ u : col(s) = 1}|; a candidate bit
+// flip touches only the rows of that symbol (memberRows/unsatRows), and
+// the cost is re-summed over all rows in row order with exactly the terms
+// columnCost uses — float-identical, O(1) per row instead of a bitset
+// intersection plus an unsatisfied-symbol scan.
+type colScorer struct {
+	e      *encoder
+	in, u1 []int
+	cnt    []int
+	// Reverse indexes over active rows (unsatisfied with a nonempty
+	// dichotomy list; the set is fixed for the duration of one solve).
+	memberRows [][]int
+	unsatRows  [][]int
+}
+
+// newColScorer builds the tracking state for the current column.
+func (e *encoder) newColScorer(col face.Constraint) *colScorer {
+	cs := &colScorer{
+		e:          e,
+		in:         make([]int, len(e.rows)),
+		u1:         make([]int, len(e.rows)),
+		cnt:        make([]int, len(e.rows)),
+		memberRows: make([][]int, e.n),
+		unsatRows:  make([][]int, e.n),
+	}
+	for ri, t := range e.rows {
+		u := e.unsat[ri]
+		if t.satisfied || len(u) == 0 {
+			continue
+		}
+		cs.cnt[ri] = t.members.Count()
+		cs.in[ri] = t.members.IntersectCount(col)
+		for s := 0; s < e.n; s++ {
+			if t.members.Has(s) {
+				cs.memberRows[s] = append(cs.memberRows[s], ri)
+			}
+		}
+		for _, s := range u {
+			cs.unsatRows[s] = append(cs.unsatRows[s], ri)
+			if col.Has(s) {
+				cs.u1[ri]++
+			}
+		}
+	}
+	return cs
+}
+
+// flip records that symbol s's column bit is now set (or now clear).
+func (cs *colScorer) flip(s int, nowSet bool) {
+	d := 1
+	if !nowSet {
+		d = -1
+	}
+	for _, ri := range cs.memberRows[s] {
+		cs.in[ri] += d
+	}
+	for _, ri := range cs.unsatRows[s] {
+		cs.u1[ri] += d
+	}
+}
+
+// cost is columnCost over the tracked counters: same rows, same order,
+// same float expression per row.
+func (cs *colScorer) cost() float64 {
+	total := 0.0
+	for ri, t := range cs.e.rows {
+		u := cs.e.unsat[ri]
+		if t.satisfied || len(u) == 0 {
+			continue
+		}
+		var bit int
+		switch cs.in[ri] {
+		case 0:
+			bit = 0
+		case cs.cnt[ri]:
+			bit = 1
+		default:
+			continue // members not uniform: no dichotomy satisfied
+		}
+		newly := cs.u1[ri]
+		if bit == 1 {
+			newly = len(u) - cs.u1[ri]
+		}
+		if newly > 0 {
+			total += t.weight * float64(newly) / float64(len(u))
+		}
+	}
+	return total
+}
+
 func (e *encoder) columnCost(col face.Constraint) float64 {
 	total := 0.0
 	for ri, t := range e.rows {
@@ -1472,7 +1640,7 @@ func TheoremI(e *face.Encoding, L face.Constraint) (int, bool) {
 // such literals freed. It returns nil, false when the theorem does not
 // apply.
 func TheoremICover(e *face.Encoding, L face.Constraint) (*cover.Cover, bool) {
-	d := cube.Binary(e.NV)
+	d := cube.BinaryInterned(e.NV)
 	intr := e.Intruders(L)
 	if len(intr) == 0 {
 		// Satisfied constraint: its supercube is the single-cube cover.
@@ -1551,7 +1719,13 @@ func supercubeOf(e *face.Encoding, set face.Constraint) (bcube, int) {
 
 // codeInside reports whether symbol sym's code lies in the supercube b.
 func codeInside(e *face.Encoding, sym int, b bcube) bool {
-	return (e.Codes[sym]^b.vals)&b.agree == 0
+	return wordInside(e.Codes[sym], b)
+}
+
+// wordInside is codeInside on a raw code word: the exact-polish carry uses
+// it to test codes a symbol is moving between, not just codes it holds.
+func wordInside(w uint64, b bcube) bool {
+	return (w^b.vals)&b.agree == 0
 }
 
 // maskedCube converts a bcube to a cube.Cube over a binary domain.

@@ -149,8 +149,14 @@ func (f *Cover) activeVar() int {
 	return best
 }
 
-// Tautology reports whether the cover covers the entire space.
+// Tautology reports whether the cover covers the entire space. On
+// single-word domains it runs the pooled uint64 kernel (see kernel.go); the
+// body below is the generic reference path, reachable for any domain via
+// Domain.Generic.
 func (f *Cover) Tautology() bool {
+	if f.D.SingleWord() {
+		return f.tautology1()
+	}
 	mTautologyNodes.Inc()
 	d := f.D
 	// Quick accept: a universal cube.
@@ -295,6 +301,9 @@ func Sharp(d *cube.Domain, a, b cube.Cube) *Cover {
 
 // CoversCube reports whether the cover covers every minterm of cube c.
 func (f *Cover) CoversCube(c cube.Cube) bool {
+	if f.D.SingleWord() {
+		return f.coversCube1(c)
+	}
 	return f.Cofactor(c).Tautology()
 }
 

@@ -1,0 +1,132 @@
+package cover
+
+import (
+	"sync"
+
+	"picola/internal/cube"
+)
+
+// Single-word tautology kernel. When the domain's cubes fit in one uint64
+// (the encoder's code spaces always do: nv <= 8 bits), the unate recursion
+// in Tautology/CoversCube runs over plain uint64 slices carved from a
+// pooled bump arena instead of materializing a fresh *Cover per cofactor.
+// The recursion mirrors the generic path decision-for-decision — same quick
+// accepts/rejects, same splitting variable, same visit order — so the
+// cover.tautology_nodes metric counts identically and the generic path
+// (reachable via Domain.Generic) remains the oracle the kernel is checked
+// against in tests.
+
+// taut1 is the pooled scratch of one kernel run: a bump arena of cofactored
+// cover words. Child covers are carved as sub-slices; reallocation during
+// deeper recursion is safe because carved slices are never written after
+// creation.
+type taut1 struct {
+	buf []uint64
+}
+
+var taut1Pool = sync.Pool{New: func() any { return new(taut1) }}
+
+// rec is the unate recursion over a single-word cover. It must keep the
+// exact decision structure of the generic Tautology above.
+func (s *taut1) rec(d *cube.Domain, cs []uint64) bool {
+	mTautologyNodes.Inc()
+	full := d.FullMask()
+	for _, w := range cs {
+		if w&full == full {
+			return true
+		}
+	}
+	if len(cs) == 0 {
+		return false
+	}
+	var or uint64
+	for _, w := range cs {
+		or |= w
+	}
+	vmask := d.VarMasks()
+	for _, m := range vmask {
+		if or&m != m {
+			return false
+		}
+	}
+	best, bestN := -1, 0
+	for v, m := range vmask {
+		n := 0
+		for _, w := range cs {
+			if w&m != m {
+				n++
+			}
+		}
+		if n > bestN {
+			best, bestN = v, n
+		}
+	}
+	if best < 0 {
+		return true
+	}
+	bm := vmask[best]
+	for val := 0; val < d.Size(best); val++ {
+		vcw := (full &^ bm) | 1<<uint(d.BitOf(best, val))
+		lo := len(s.buf)
+		s.cofactorInto(d, cs, vcw)
+		sub := s.buf[lo:len(s.buf):len(s.buf)]
+		ok := s.rec(d, sub)
+		s.buf = s.buf[:lo]
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// cofactorInto appends to the arena the cofactor of each cover word by the
+// cube word p: words intersecting p, with fields widened by ^p.
+func (s *taut1) cofactorInto(d *cube.Domain, cs []uint64, p uint64) {
+	full := d.FullMask()
+	vmask := d.VarMasks()
+outer:
+	for _, w := range cs {
+		x := w & p
+		for _, m := range vmask {
+			if x&m == 0 {
+				continue outer
+			}
+		}
+		s.buf = append(s.buf, (w|^p)&full)
+	}
+}
+
+// tautology1 runs the kernel over the cover's cubes.
+func (f *Cover) tautology1() bool {
+	s := taut1Pool.Get().(*taut1)
+	defer taut1Pool.Put(s)
+	s.buf = s.buf[:0]
+	full := f.D.FullMask()
+	for _, c := range f.Cubes {
+		s.buf = append(s.buf, c[0]&full)
+	}
+	return s.rec(f.D, s.buf)
+}
+
+// coversCube1 runs the kernel on the cover cofactored by c, fused so the
+// intermediate cover is never materialized.
+func (f *Cover) coversCube1(c cube.Cube) bool {
+	s := taut1Pool.Get().(*taut1)
+	defer taut1Pool.Put(s)
+	s.buf = s.buf[:0]
+	d := f.D
+	full := d.FullMask()
+	vmask := d.VarMasks()
+	p := c[0]
+outer:
+	for _, k := range f.Cubes {
+		x := k[0] & p
+		for _, m := range vmask {
+			if x&m == 0 {
+				continue outer
+			}
+		}
+		s.buf = append(s.buf, (k[0]|^p)&full)
+	}
+	return s.rec(d, s.buf)
+}

@@ -65,6 +65,16 @@ type Domain struct {
 	nwords int
 	spans  [][]wordSpan // per-variable word/mask pairs covering its field
 	bitVar []int        // owning variable per absolute bit
+
+	// Single-word kernel state. When every field of a cube fits in word 0
+	// (nwords == 1), the per-variable span loops above collapse to direct
+	// uint64 operations against these precomputed masks. The selection is
+	// made once here, at construction; the generic span path remains the
+	// reference implementation (see Generic) and is cross-checked against
+	// the kernels in the package tests.
+	w1    bool
+	vmask []uint64 // per-variable field mask within word 0
+	full  uint64   // union of all field masks (the universe word)
 }
 
 // New creates a domain with the given number of values per variable.
@@ -94,7 +104,40 @@ func New(sizes ...int) *Domain {
 			d.bitVar[d.offs[v]+val] = v
 		}
 	}
+	if d.nbits <= 64 {
+		d.w1 = true
+		d.vmask = make([]uint64, len(sizes))
+		for v := range sizes {
+			d.vmask[v] = d.spans[v][0].mask
+			d.full |= d.vmask[v]
+		}
+	}
 	return d
+}
+
+// SingleWord reports whether the domain's cubes fit in one uint64 word and
+// the word-level kernels are selected.
+func (d *Domain) SingleWord() bool { return d.w1 }
+
+// FullMask returns the universe word — the union of every variable's field
+// mask in word 0. Only meaningful when SingleWord reports true.
+func (d *Domain) FullMask() uint64 { return d.full }
+
+// VarMasks returns the per-variable field masks within word 0, or nil when
+// the domain is not single-word. The slice is shared and must not be
+// modified.
+func (d *Domain) VarMasks() []uint64 { return d.vmask }
+
+// Generic returns a copy of the domain with the single-word kernels
+// disabled, so every operation takes the span-loop reference path. It exists
+// for tests and benchmarks: the generic path is the oracle the kernels are
+// checked against.
+func (d *Domain) Generic() *Domain {
+	g := *d
+	g.w1 = false
+	g.vmask = nil
+	g.full = 0
+	return &g
 }
 
 // Binary creates a domain of n binary variables.
@@ -215,6 +258,10 @@ func (d *Domain) ClearVal(c Cube, v, val int) {
 
 // SetAll allows every value of variable v in c (a full field).
 func (d *Domain) SetAll(c Cube, v int) {
+	if d.w1 {
+		c[0] |= d.vmask[v]
+		return
+	}
 	for _, s := range d.spans[v] {
 		c[s.word] |= s.mask
 	}
@@ -222,6 +269,10 @@ func (d *Domain) SetAll(c Cube, v int) {
 
 // ClearAll disallows every value of variable v in c (an empty field).
 func (d *Domain) ClearAll(c Cube, v int) {
+	if d.w1 {
+		c[0] &^= d.vmask[v]
+		return
+	}
 	for _, s := range d.spans[v] {
 		c[s.word] &^= s.mask
 	}
@@ -235,6 +286,9 @@ func (d *Domain) Restrict(c Cube, v, val int) {
 
 // PartEmpty reports whether variable v's field in c is empty.
 func (d *Domain) PartEmpty(c Cube, v int) bool {
+	if d.w1 {
+		return c[0]&d.vmask[v] == 0
+	}
 	for _, s := range d.spans[v] {
 		if c[s.word]&s.mask != 0 {
 			return false
@@ -245,6 +299,10 @@ func (d *Domain) PartEmpty(c Cube, v int) bool {
 
 // PartFull reports whether variable v's field in c allows every value.
 func (d *Domain) PartFull(c Cube, v int) bool {
+	if d.w1 {
+		m := d.vmask[v]
+		return c[0]&m == m
+	}
 	for _, s := range d.spans[v] {
 		if c[s.word]&s.mask != s.mask {
 			return false
@@ -255,6 +313,9 @@ func (d *Domain) PartFull(c Cube, v int) bool {
 
 // PartCount returns the number of allowed values of variable v in c.
 func (d *Domain) PartCount(c Cube, v int) int {
+	if d.w1 {
+		return bits.OnesCount64(c[0] & d.vmask[v])
+	}
 	n := 0
 	for _, s := range d.spans[v] {
 		n += bits.OnesCount64(c[s.word] & s.mask)
@@ -310,6 +371,15 @@ func (d *Domain) SetBinLit(c Cube, v int, l Lit) {
 // IsEmpty reports whether c denotes the empty set, i.e. whether any
 // variable's field is empty.
 func (d *Domain) IsEmpty(c Cube) bool {
+	if d.w1 {
+		w := c[0]
+		for _, m := range d.vmask {
+			if w&m == 0 {
+				return true
+			}
+		}
+		return false
+	}
 	for v := range d.sizes {
 		if d.PartEmpty(c, v) {
 			return true
@@ -321,6 +391,16 @@ func (d *Domain) IsEmpty(c Cube) bool {
 // Intersect stores a AND b into dst and reports whether the result is a
 // non-empty cube. dst may alias a or b.
 func (d *Domain) Intersect(dst, a, b Cube) bool {
+	if d.w1 {
+		w := a[0] & b[0]
+		dst[0] = w
+		for _, m := range d.vmask {
+			if w&m == 0 {
+				return false
+			}
+		}
+		return true
+	}
 	for i := range dst {
 		dst[i] = a[i] & b[i]
 	}
@@ -330,6 +410,15 @@ func (d *Domain) Intersect(dst, a, b Cube) bool {
 // Intersects reports whether a and b have a non-empty intersection without
 // materializing it.
 func (d *Domain) Intersects(a, b Cube) bool {
+	if d.w1 {
+		w := a[0] & b[0]
+		for _, m := range d.vmask {
+			if w&m == 0 {
+				return false
+			}
+		}
+		return true
+	}
 	for v := range d.sizes {
 		empty := true
 		for _, s := range d.spans[v] {
@@ -368,6 +457,16 @@ func (d *Domain) Contains(a, b Cube) bool {
 // Distance returns the number of variables in which a and b share no value.
 // Distance 0 means the cubes intersect.
 func (d *Domain) Distance(a, b Cube) int {
+	if d.w1 {
+		w := a[0] & b[0]
+		n := 0
+		for _, m := range d.vmask {
+			if w&m == 0 {
+				n++
+			}
+		}
+		return n
+	}
 	n := 0
 	for v := range d.sizes {
 		empty := true
@@ -389,6 +488,16 @@ func (d *Domain) Distance(a, b Cube) int {
 // c ∪ ¬p. It reports false, leaving dst unspecified, when c and p do not
 // intersect (the cofactor is empty). dst may alias c but not p.
 func (d *Domain) Cofactor(dst, c, p Cube) bool {
+	if d.w1 {
+		w := c[0] & p[0]
+		for _, m := range d.vmask {
+			if w&m == 0 {
+				return false
+			}
+		}
+		dst[0] = dst[0]&^d.full | (c[0]|^p[0])&d.full
+		return true
+	}
 	if !d.Intersects(c, p) {
 		return false
 	}
@@ -406,6 +515,30 @@ func (d *Domain) Cofactor(dst, c, p Cube) bool {
 // every other field a ∩ b. At any other distance there is no consensus and
 // false is returned with dst unspecified. dst must not alias a or b.
 func (d *Domain) Consensus(dst, a, b Cube) bool {
+	if d.w1 {
+		w := a[0] & b[0]
+		conflict := -1
+		for v, m := range d.vmask {
+			if w&m == 0 {
+				if conflict >= 0 {
+					return false
+				}
+				conflict = v
+			}
+		}
+		if conflict < 0 {
+			return false
+		}
+		cm := d.vmask[conflict]
+		r := w&^cm | (a[0]|b[0])&cm
+		dst[0] = r
+		for _, m := range d.vmask {
+			if r&m == 0 {
+				return false
+			}
+		}
+		return true
+	}
 	conflict := -1
 	for v := range d.sizes {
 		empty := true
@@ -438,6 +571,16 @@ func (d *Domain) Consensus(dst, a, b Cube) bool {
 // over binary variables this is the cube's dimension (number of don't-care
 // positions).
 func (d *Domain) FullParts(c Cube) int {
+	if d.w1 {
+		w := c[0]
+		n := 0
+		for _, m := range d.vmask {
+			if w&m == m {
+				n++
+			}
+		}
+		return n
+	}
 	n := 0
 	for v := range d.sizes {
 		if d.PartFull(c, v) {

@@ -1,0 +1,25 @@
+package cube
+
+import "sync/atomic"
+
+// internMax bounds the interned table of binary domains. Code spaces in the
+// encoder have nv = ceil(log2 n) bits, so 64 covers anything reachable.
+const internMax = 64
+
+var internedBinary [internMax + 1]atomic.Pointer[Domain]
+
+// BinaryInterned returns the canonical interned domain of n binary
+// variables. Repeated calls with the same n return the same *Domain, so hot
+// paths (constraint scoring rebuilds the code-space domain per call) share
+// one immutable instance instead of reallocating spans and masks each time.
+// Out-of-range n falls back to a fresh Binary(n).
+func BinaryInterned(n int) *Domain {
+	if n < 0 || n > internMax {
+		return Binary(n)
+	}
+	if d := internedBinary[n].Load(); d != nil {
+		return d
+	}
+	internedBinary[n].CompareAndSwap(nil, Binary(n))
+	return internedBinary[n].Load()
+}

@@ -1,0 +1,165 @@
+package cube
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The single-word kernels must agree with the generic span path on every
+// operation: the generic path is the oracle. These tests run each op on a
+// kernel-enabled domain and its Generic() twin over randomized cubes.
+
+// randKernelDomain builds a random single-word domain: either all-binary or
+// a mix of variable sizes totaling at most 64 bits.
+func randKernelDomain(rng *rand.Rand) *Domain {
+	if rng.Intn(2) == 0 {
+		return Binary(1 + rng.Intn(16))
+	}
+	var sizes []int
+	bits := 0
+	for {
+		s := 1 + rng.Intn(7)
+		if bits+s > 64 {
+			break
+		}
+		sizes = append(sizes, s)
+		bits += s
+		if len(sizes) >= 10 && rng.Intn(3) == 0 {
+			break
+		}
+	}
+	if len(sizes) == 0 {
+		sizes = []int{2}
+	}
+	return New(sizes...)
+}
+
+// randCube fills a fresh cube with random per-variable subsets, biased
+// toward non-empty fields but occasionally producing empty ones.
+func randCube(rng *rand.Rand, d *Domain) Cube {
+	c := d.NewCube()
+	for v := 0; v < d.NumVars(); v++ {
+		for val := 0; val < d.Size(v); val++ {
+			if rng.Intn(3) != 0 {
+				d.Set(c, v, val)
+			}
+		}
+		if d.PartEmpty(c, v) && rng.Intn(4) != 0 {
+			d.Set(c, v, rng.Intn(d.Size(v)))
+		}
+	}
+	return c
+}
+
+func TestKernelsMatchGenericOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 2000; iter++ {
+		d := randKernelDomain(rng)
+		if !d.SingleWord() {
+			t.Fatalf("randKernelDomain produced a multi-word domain (%d bits)", d.Bits())
+		}
+		g := d.Generic()
+		if g.SingleWord() {
+			t.Fatal("Generic() did not disable the kernels")
+		}
+		a, b := randCube(rng, d), randCube(rng, d)
+
+		if got, want := d.IsEmpty(a), g.IsEmpty(a); got != want {
+			t.Fatalf("IsEmpty(%s): kernel %v oracle %v", g.String(a), got, want)
+		}
+		if got, want := d.Intersects(a, b), g.Intersects(a, b); got != want {
+			t.Fatalf("Intersects(%s,%s): kernel %v oracle %v", g.String(a), g.String(b), got, want)
+		}
+		if got, want := d.Distance(a, b), g.Distance(a, b); got != want {
+			t.Fatalf("Distance(%s,%s): kernel %d oracle %d", g.String(a), g.String(b), got, want)
+		}
+		if got, want := d.FullParts(a), g.FullParts(a); got != want {
+			t.Fatalf("FullParts(%s): kernel %d oracle %d", g.String(a), got, want)
+		}
+		for v := 0; v < d.NumVars(); v++ {
+			if d.PartEmpty(a, v) != g.PartEmpty(a, v) ||
+				d.PartFull(a, v) != g.PartFull(a, v) ||
+				d.PartCount(a, v) != g.PartCount(a, v) {
+				t.Fatalf("Part ops disagree on %s var %d", g.String(a), v)
+			}
+		}
+
+		kdst, gdst := d.NewCube(), g.NewCube()
+		kok, gok := d.Intersect(kdst, a, b), g.Intersect(gdst, a, b)
+		if kok != gok || !Equal(kdst, gdst) {
+			t.Fatalf("Intersect(%s,%s): kernel (%s,%v) oracle (%s,%v)",
+				g.String(a), g.String(b), g.String(kdst), kok, g.String(gdst), gok)
+		}
+
+		// Cofactor against a non-empty cube p; dst carries stale garbage
+		// bits to exercise the masked write.
+		p := randCube(rng, d)
+		for v := 0; v < d.NumVars(); v++ {
+			if d.PartEmpty(p, v) {
+				d.Set(p, v, 0)
+			}
+		}
+		kdst, gdst = randCube(rng, d), d.NewCube()
+		copy(gdst, kdst)
+		kok, gok = d.Cofactor(kdst, a, p), g.Cofactor(gdst, a, p)
+		if kok != gok {
+			t.Fatalf("Cofactor(%s,%s): kernel %v oracle %v", g.String(a), g.String(p), kok, gok)
+		}
+		if kok && !Equal(kdst, gdst) {
+			t.Fatalf("Cofactor(%s,%s): kernel %s oracle %s", g.String(a), g.String(p), g.String(kdst), g.String(gdst))
+		}
+
+		kdst, gdst = d.NewCube(), g.NewCube()
+		kok, gok = d.Consensus(kdst, a, b), g.Consensus(gdst, a, b)
+		if kok != gok {
+			t.Fatalf("Consensus(%s,%s): kernel %v oracle %v", g.String(a), g.String(b), kok, gok)
+		}
+		if kok && !Equal(kdst, gdst) {
+			t.Fatalf("Consensus(%s,%s): kernel %s oracle %s", g.String(a), g.String(b), g.String(kdst), g.String(gdst))
+		}
+
+		v := rng.Intn(d.NumVars())
+		ka, ga := a.Clone(), a.Clone()
+		d.SetAll(ka, v)
+		g.SetAll(ga, v)
+		if !Equal(ka, ga) {
+			t.Fatalf("SetAll(%s,%d): kernel %s oracle %s", g.String(a), v, g.String(ka), g.String(ga))
+		}
+		d.ClearAll(ka, v)
+		g.ClearAll(ga, v)
+		if !Equal(ka, ga) {
+			t.Fatalf("ClearAll: kernel %s oracle %s", g.String(ka), g.String(ga))
+		}
+
+		if got, want := d.Minterms(a), g.Minterms(a); got != want {
+			t.Fatalf("Minterms(%s): kernel %d oracle %d", g.String(a), got, want)
+		}
+	}
+}
+
+// A domain wider than 64 bits must not select the kernels and must still
+// behave (the generic path handles it as before).
+func TestMultiWordDomainSkipsKernels(t *testing.T) {
+	d := Binary(40) // 80 bits, two words
+	if d.SingleWord() {
+		t.Fatal("80-bit domain claims single-word kernels")
+	}
+	u := d.Universe()
+	if d.IsEmpty(u) || d.FullParts(u) != 40 {
+		t.Fatal("multi-word universe mishandled")
+	}
+}
+
+func TestBinaryInterned(t *testing.T) {
+	d1 := BinaryInterned(7)
+	d2 := BinaryInterned(7)
+	if d1 != d2 {
+		t.Fatal("BinaryInterned(7) returned distinct domains")
+	}
+	if d1.NumVars() != 7 || d1.Bits() != 14 || !d1.SingleWord() {
+		t.Fatalf("interned domain malformed: %d vars, %d bits", d1.NumVars(), d1.Bits())
+	}
+	if BinaryInterned(internMax+1).NumVars() != internMax+1 {
+		t.Fatal("out-of-range fallback broken")
+	}
+}

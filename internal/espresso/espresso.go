@@ -12,12 +12,77 @@ package espresso
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"picola/internal/cover"
 	"picola/internal/covering"
 	"picola/internal/cube"
 	"picola/internal/obs"
 )
+
+// scratch holds the per-Minimize working buffers that used to be allocated
+// per call (and, for expandCube, per cube): conflict bookkeeping, bit
+// masks, column counts, and the shared "rest of the cover" cube list the
+// containment loops rebuild per cube. One scratch is checked out of the
+// pool per Minimize call, so concurrent minimizations (the par fan-out)
+// each get their own.
+type scratch struct {
+	conflictCount []int
+	conflictVar   []int
+	blockedMask   []uint64
+	varMask       []uint64
+	colCount      []int
+	covered       []bool
+	rest          cover.Cover
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+func (sc *scratch) ints(buf *[]int, n int) []int {
+	if cap(*buf) < n {
+		*buf = make([]int, n)
+	}
+	*buf = (*buf)[:n]
+	for i := range *buf {
+		(*buf)[i] = 0
+	}
+	return *buf
+}
+
+func (sc *scratch) bools(buf *[]bool, n int) []bool {
+	if cap(*buf) < n {
+		*buf = make([]bool, n)
+	}
+	*buf = (*buf)[:n]
+	for i := range *buf {
+		(*buf)[i] = false
+	}
+	return *buf
+}
+
+func (sc *scratch) words(buf *[]uint64, n int) []uint64 {
+	if cap(*buf) < n {
+		*buf = make([]uint64, n)
+	}
+	*buf = (*buf)[:n]
+	for i := range *buf {
+		(*buf)[i] = 0
+	}
+	return *buf
+}
+
+// restOf rebuilds the shared rest buffer as F minus cube i plus dc. The
+// result is read-only and valid until the next restOf call.
+func (sc *scratch) restOf(d *cube.Domain, cubes []cube.Cube, skip int, dc *cover.Cover) *cover.Cover {
+	sc.rest.D = d
+	sc.rest.Cubes = sc.rest.Cubes[:0]
+	sc.rest.Cubes = append(sc.rest.Cubes, cubes[:skip]...)
+	sc.rest.Cubes = append(sc.rest.Cubes, cubes[skip+1:]...)
+	if dc != nil {
+		sc.rest.Cubes = append(sc.rest.Cubes, dc.Cubes...)
+	}
+	return &sc.rest
+}
 
 // Invocation metrics (atomic; cached pointers keep lookups off hot paths).
 var (
@@ -112,13 +177,16 @@ func Minimize(f *Function, opts ...Options) (*cover.Cover, error) {
 		return F, nil
 	}
 
-	F = expand(F, off)
-	F = irredundant(F, dc)
+	sc := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(sc)
+
+	F = expand(F, off, sc)
+	F = irredundant(F, dc, sc)
 
 	var essentials *cover.Cover
 	workDC := dc
 	if !o.SkipEssentials {
-		essentials, F = extractEssentials(F, dc)
+		essentials, F = extractEssentials(F, dc, sc)
 		if essentials.Len() > 0 {
 			workDC = cover.Union(dc, essentials)
 		}
@@ -129,9 +197,9 @@ func Minimize(f *Function, opts ...Options) (*cover.Cover, error) {
 	best := coverCost(F)
 	for iter := 0; iter < o.MaxIterations; iter++ {
 		mIterations.Inc()
-		F = reduce(F, workDC)
-		F = expand(F, off)
-		F = irredundant(F, workDC)
+		F = reduce(F, workDC, sc)
+		F = expand(F, off, sc)
+		F = irredundant(F, workDC, sc)
 		c := coverCost(F)
 		if !c.less(best) {
 			break
@@ -139,14 +207,14 @@ func Minimize(f *Function, opts ...Options) (*cover.Cover, error) {
 		best = c
 	}
 	if !o.SkipLastGasp {
-		if G, ok := lastGasp(F, workDC, off); ok {
+		if G, ok := lastGasp(F, workDC, off, sc); ok {
 			F = G
 		}
 	}
 	F.Cubes = append(F.Cubes, essentials.Cubes...)
 	F.SCC()
 	if !o.SkipMakeSparse {
-		F = makeSparse(F, dc)
+		F = makeSparse(F, dc, sc)
 	}
 	return F, nil
 }
@@ -156,11 +224,11 @@ func Minimize(f *Function, opts ...Options) (*cover.Cover, error) {
 // reduced cubes are expanded, and any new prime covering two or more
 // reduced cubes is offered to irredundant together with the old cover.
 // It reports whether an improvement was found.
-func lastGasp(F *cover.Cover, dc, off *cover.Cover) (*cover.Cover, bool) {
+func lastGasp(F *cover.Cover, dc, off *cover.Cover, sc *scratch) (*cover.Cover, bool) {
 	d := F.D
 	reduced := cover.New(d)
 	for i, c := range F.Cubes {
-		rest := cover.Union(F.Without(i), dc)
+		rest := sc.restOf(d, F.Cubes, i, dc)
 		q := rest.Cofactor(c)
 		if q.Tautology() {
 			continue
@@ -179,7 +247,7 @@ func lastGasp(F *cover.Cover, dc, off *cover.Cover) (*cover.Cover, bool) {
 		return F, false
 	}
 	// Expand the reduced cubes and keep the primes covering ≥ 2 of them.
-	colCount := make([]int, d.Bits())
+	colCount := sc.ints(&sc.colCount, d.Bits())
 	for _, f := range reduced.Cubes {
 		for bit := 0; bit < d.Bits(); bit++ {
 			if f[bit/64]>>(uint(bit)%64)&1 == 1 {
@@ -189,7 +257,7 @@ func lastGasp(F *cover.Cover, dc, off *cover.Cover) (*cover.Cover, bool) {
 	}
 	var candidates []cube.Cube
 	for _, c := range reduced.Cubes {
-		p := expandCube(d, c.Clone(), off, colCount)
+		p := expandCube(d, c.Clone(), off, colCount, sc)
 		covered := 0
 		for _, rc := range reduced.Cubes {
 			if d.Contains(p, rc) {
@@ -206,7 +274,7 @@ func lastGasp(F *cover.Cover, dc, off *cover.Cover) (*cover.Cover, bool) {
 	trial := F.Clone()
 	trial.Cubes = append(trial.Cubes, candidates...)
 	trial.SCC()
-	trial = irredundant(trial, dc)
+	trial = irredundant(trial, dc, sc)
 	if coverCost(trial).less(coverCost(F)) {
 		return trial, true
 	}
@@ -218,7 +286,7 @@ func lastGasp(F *cover.Cover, dc, off *cover.Cover) (*cover.Cover, bool) {
 // don't-care set already covers the cube restricted to it. This is
 // espresso's sparse-matrix pass — it cannot change the cube count, only
 // shrink the asserted literals (PLA transistors).
-func makeSparse(F *cover.Cover, dc *cover.Cover) *cover.Cover {
+func makeSparse(F *cover.Cover, dc *cover.Cover, sc *scratch) *cover.Cover {
 	d := F.D
 	out := F.Clone()
 	for i, c := range out.Cubes {
@@ -232,7 +300,7 @@ func makeSparse(F *cover.Cover, dc *cover.Cover) *cover.Cover {
 				}
 				restricted := c.Clone()
 				d.Restrict(restricted, v, val)
-				rest := cover.Union(out.Without(i), dc)
+				rest := sc.restOf(d, out.Cubes, i, dc)
 				if rest.CoversCube(restricted) {
 					d.ClearVal(c, v, val)
 				}
@@ -255,19 +323,19 @@ func MustMinimize(f *Function, opts ...Options) *cover.Cover {
 // expand turns every cube of F into a prime implicant by greedily raising
 // value bits while remaining disjoint from the OFF-set, then drops cubes
 // covered by the expanded primes.
-func expand(F *cover.Cover, off *cover.Cover) *cover.Cover {
+func expand(F *cover.Cover, off *cover.Cover, sc *scratch) *cover.Cover {
 	d := F.D
 	// Expand small cubes first: they benefit most and their expansion is
 	// most likely to cover the remaining cubes.
 	sort.SliceStable(F.Cubes, func(i, j int) bool {
 		return cube.SetBits(F.Cubes[i]) < cube.SetBits(F.Cubes[j])
 	})
-	covered := make([]bool, F.Len())
+	covered := sc.bools(&sc.covered, F.Len())
 	out := cover.New(d)
 	// Column counts over the ON-set: how many cubes contain each value bit.
 	// The classical expansion heuristic raises the feasible bit present in
 	// the most ON cubes.
-	colCount := make([]int, d.Bits())
+	colCount := sc.ints(&sc.colCount, d.Bits())
 	for _, f := range F.Cubes {
 		for bit := 0; bit < d.Bits(); bit++ {
 			if f[bit/64]>>(uint(bit)%64)&1 == 1 {
@@ -279,7 +347,7 @@ func expand(F *cover.Cover, off *cover.Cover) *cover.Cover {
 		if covered[i] {
 			continue
 		}
-		p := expandCube(d, c.Clone(), off, colCount)
+		p := expandCube(d, c.Clone(), off, colCount, sc)
 		for j := i + 1; j < F.Len(); j++ {
 			if !covered[j] && d.Contains(p, F.Cubes[j]) {
 				covered[j] = true
@@ -296,12 +364,12 @@ func expand(F *cover.Cover, off *cover.Cover) *cover.Cover {
 // highest ON-column count. Feasibility is tracked incrementally: an OFF
 // cube at distance 1 "blocks" the bits of its conflicting variable's
 // field, since raising one would make c intersect it.
-func expandCube(d *cube.Domain, c cube.Cube, off *cover.Cover, colCount []int) cube.Cube {
+func expandCube(d *cube.Domain, c cube.Cube, off *cover.Cover, colCount []int, sc *scratch) cube.Cube {
 	nv := d.NumVars()
 	nb := d.Bits()
 	words := d.Words()
-	conflictCount := make([]int, off.Len())
-	conflictVar := make([]int, off.Len()) // meaningful when count == 1
+	conflictCount := sc.ints(&sc.conflictCount, off.Len())
+	conflictVar := sc.ints(&sc.conflictVar, off.Len()) // meaningful when count == 1
 	for k, o := range off.Cubes {
 		for v := 0; v < nv; v++ {
 			if varDisjoint(d, c, o, v) {
@@ -310,8 +378,8 @@ func expandCube(d *cube.Domain, c cube.Cube, off *cover.Cover, colCount []int) c
 			}
 		}
 	}
-	blockedMask := make([]uint64, words)
-	varMask := make([]uint64, words) // scratch
+	blockedMask := sc.words(&sc.blockedMask, words)
+	varMask := sc.words(&sc.varMask, words) // scratch
 	for {
 		// Rebuild the blocked mask: bits of single-conflict OFF cubes'
 		// conflicting fields.
@@ -402,7 +470,7 @@ func varDisjoint(d *cube.Domain, a, b cube.Cube, v int) bool {
 // region E ∪ DC leaves uncovered is then chosen by branch-and-bound set
 // covering at shard granularity. Oversized instances fall back to the
 // order-dependent sequential removal.
-func irredundant(F *cover.Cover, dc *cover.Cover) *cover.Cover {
+func irredundant(F *cover.Cover, dc *cover.Cover, sc *scratch) *cover.Cover {
 	d := F.D
 	n := F.Len()
 	if n <= 1 {
@@ -411,7 +479,7 @@ func irredundant(F *cover.Cover, dc *cover.Cover) *cover.Cover {
 	ess := cover.New(d)
 	var rp []cube.Cube
 	for i, c := range F.Cubes {
-		rest := cover.Union(F.Without(i), dc)
+		rest := sc.restOf(d, F.Cubes, i, dc)
 		if rest.CoversCube(c) {
 			rp = append(rp, c)
 		} else {
@@ -432,7 +500,7 @@ func irredundant(F *cover.Cover, dc *cover.Cover) *cover.Cover {
 	}
 	const maxRp, maxShards = 64, 4096
 	if len(rp) > maxRp {
-		return irredundantSeq(F, dc)
+		return irredundantSeq(F, dc, sc)
 	}
 	// Shard each partially-redundant cube against E ∪ DC; every shard must
 	// end up inside some chosen Rp cube.
@@ -452,7 +520,7 @@ func irredundant(F *cover.Cover, dc *cover.Cover) *cover.Cover {
 		}
 		shardCount += len(shards)
 		if shardCount > maxShards {
-			return irredundantSeq(F, dc)
+			return irredundantSeq(F, dc, sc)
 		}
 		for _, s := range shards {
 			var cols []int
@@ -476,13 +544,13 @@ func irredundant(F *cover.Cover, dc *cover.Cover) *cover.Cover {
 
 // irredundantSeq is the order-dependent fallback: remove cubes covered by
 // the rest plus DC, smallest first.
-func irredundantSeq(F *cover.Cover, dc *cover.Cover) *cover.Cover {
+func irredundantSeq(F *cover.Cover, dc *cover.Cover, sc *scratch) *cover.Cover {
 	sort.SliceStable(F.Cubes, func(i, j int) bool {
 		return cube.SetBits(F.Cubes[i]) < cube.SetBits(F.Cubes[j])
 	})
 	kept := F.Clone()
 	for i := 0; i < kept.Len(); {
-		rest := cover.Union(kept.Without(i), dc)
+		rest := sc.restOf(F.D, kept.Cubes, i, dc)
 		if rest.CoversCube(kept.Cubes[i]) {
 			kept.Cubes = append(kept.Cubes[:i], kept.Cubes[i+1:]...)
 			continue
@@ -496,11 +564,11 @@ func irredundantSeq(F *cover.Cover, dc *cover.Cover) *cover.Cover {
 // essential when the other primes plus the don't-care set do not cover it;
 // essential primes appear in every prime irredundant cover, so the main
 // loop need not touch them.
-func extractEssentials(F *cover.Cover, dc *cover.Cover) (ess, rest *cover.Cover) {
+func extractEssentials(F *cover.Cover, dc *cover.Cover, sc *scratch) (ess, rest *cover.Cover) {
 	ess = cover.New(F.D)
 	rest = cover.New(F.D)
 	for i, c := range F.Cubes {
-		others := cover.Union(F.Without(i), dc)
+		others := sc.restOf(F.D, F.Cubes, i, dc)
 		if others.CoversCube(c) {
 			rest.Add(c)
 		} else {
@@ -515,16 +583,18 @@ func extractEssentials(F *cover.Cover, dc *cover.Cover) (ess, rest *cover.Cover)
 // Cubes that become empty (covered entirely by the rest) are dropped.
 // Processing is ordered by descending size so large cubes are reduced
 // against the originals of the small ones.
-func reduce(F *cover.Cover, dc *cover.Cover) *cover.Cover {
+func reduce(F *cover.Cover, dc *cover.Cover, sc *scratch) *cover.Cover {
 	d := F.D
 	sort.SliceStable(F.Cubes, func(i, j int) bool {
 		return cube.SetBits(F.Cubes[i]) > cube.SetBits(F.Cubes[j])
 	})
 	out := cover.New(d)
 	work := F.Clone()
+	rest := &sc.rest
+	rest.D = d
 	for i := 0; i < work.Len(); i++ {
 		c := work.Cubes[i]
-		rest := cover.New(d)
+		rest.Cubes = rest.Cubes[:0]
 		rest.Cubes = append(rest.Cubes, out.Cubes...) // already reduced
 		rest.Cubes = append(rest.Cubes, work.Cubes[i+1:]...)
 		rest.Cubes = append(rest.Cubes, dc.Cubes...)

@@ -1,0 +1,60 @@
+package eval
+
+import (
+	"sync"
+
+	"picola/internal/cover"
+	"picola/internal/cube"
+	"picola/internal/espresso"
+	"picola/internal/exact"
+	"picola/internal/face"
+)
+
+// scorer is the pooled scratch of one exact constraint scoring: a slab of
+// cube words backing the n code cubes, reusable ON/OFF cover headers, and
+// the count-only exact minimizer. On a warmed instance, scoring allocates
+// nothing — the TestAllocs gate enforces that.
+type scorer struct {
+	words    []uint64
+	onCubes  []cube.Cube
+	offCubes []cube.Cube
+	on, off  cover.Cover
+	fn       espresso.Function
+	counter  exact.Counter
+}
+
+var scorerPool = sync.Pool{New: func() any { return new(scorer) }}
+
+// exactCount scores one constraint with the pooled exact path: the same
+// ON/OFF partition ConstraintFunction builds (member codes ON, non-member
+// codes OFF, unused codes implicit DC), fed to the count-only mirror of
+// exact.Minimize.
+func (s *scorer) exactCount(e *face.Encoding, c face.Constraint) (int, error) {
+	d := cube.BinaryInterned(e.NV)
+	n := e.N()
+	w := d.Words()
+	if cap(s.words) < n*w {
+		s.words = make([]uint64, n*w)
+	}
+	s.words = s.words[:n*w]
+	s.onCubes = s.onCubes[:0]
+	s.offCubes = s.offCubes[:0]
+	for sym := 0; sym < n; sym++ {
+		cw := cube.Cube(s.words[sym*w : (sym+1)*w : (sym+1)*w])
+		for i := range cw {
+			cw[i] = 0
+		}
+		for col := 0; col < e.NV; col++ {
+			d.Set(cw, col, e.Bit(sym, col))
+		}
+		if c.Has(sym) {
+			s.onCubes = append(s.onCubes, cw)
+		} else {
+			s.offCubes = append(s.offCubes, cw)
+		}
+	}
+	s.on = cover.Cover{D: d, Cubes: s.onCubes}
+	s.off = cover.Cover{D: d, Cubes: s.offCubes}
+	s.fn = espresso.Function{D: d, On: &s.on, Off: &s.off}
+	return s.counter.Count(&s.fn, e.NV)
+}

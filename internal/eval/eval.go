@@ -37,9 +37,10 @@ func codeCube(d *cube.Domain, e *face.Encoding, sym int) cube.Cube {
 
 // ConstraintFunction builds the ON/OFF covers of one constraint under the
 // encoding (the don't-care set — the unused codes — is left implicit, the
-// espresso fr convention).
+// espresso fr convention). The domain is interned per nv: repeated calls
+// share one immutable *Domain instead of rebuilding spans and masks.
 func ConstraintFunction(e *face.Encoding, c face.Constraint) *espresso.Function {
-	d := cube.Binary(e.NV)
+	d := cube.BinaryInterned(e.NV)
 	on := cover.New(d)
 	off := cover.New(d)
 	for s := 0; s < e.N(); s++ {
@@ -76,16 +77,17 @@ func ConstraintCubesHeuristic(e *face.Encoding, c face.Constraint) (int, error) 
 // single compute path Cache memoizes.
 func minimizeConstraint(e *face.Encoding, c face.Constraint, heuristic bool) (int, error) {
 	mConstraintCubes.Inc()
-	f := ConstraintFunction(e, c)
 	if !heuristic && e.NV <= exact.MaxInputs {
+		// Exact path: pooled, count-only, zero steady-state allocations.
+		// The scorer's Counter mirrors exact.Minimize exactly, so the
+		// count is the one the unpooled reference path returns.
 		mExact.Inc()
-		min, err := exact.Minimize(f, e.NV)
-		if err != nil {
-			return 0, err
-		}
-		return min.Len(), nil
+		s := scorerPool.Get().(*scorer)
+		defer scorerPool.Put(s)
+		return s.exactCount(e, c)
 	}
 	mHeuristic.Inc()
+	f := ConstraintFunction(e, c)
 	min, err := espresso.Minimize(f)
 	if err != nil {
 		return 0, err

@@ -1,0 +1,10 @@
+//go:build race
+
+package eval
+
+// raceEnabled reports that the race detector is instrumenting this build.
+// The allocation-count gates skip under it: the detector itself allocates
+// per tracked access, so testing.AllocsPerRun measures the instrumentation,
+// not the arena. The contention test is the -race half of the pooling gate;
+// the alloc gates run in the plain build (verify.sh and CI run both).
+const raceEnabled = true

@@ -104,7 +104,7 @@ func Optimal(p *face.Problem) (*Result, error) {
 // the encoding.
 func exactCost(p *face.Problem, e *face.Encoding) (int, error) {
 	total := 0
-	d := cube.Binary(e.NV)
+	d := cube.BinaryInterned(e.NV)
 	for _, con := range p.Constraints {
 		on := cover.New(d)
 		off := cover.New(d)

@@ -12,7 +12,7 @@ go build ./...
 # fixture violation (one positive fixture per analyzer) — a lint suite
 # that stops firing is worse than none.
 go run ./cmd/picolint ./...
-for a in detrange seedrand spanend dropperr tracenil; do
+for a in detrange seedrand spanend dropperr tracenil poolput; do
   if go run ./cmd/picolint "./internal/analysis/testdata/src/$a" >/dev/null 2>&1; then
     echo "picolint no longer flags the $a fixture" >&2
     exit 1
@@ -21,6 +21,20 @@ done
 
 go test ./...
 go test -race ./...
+
+# Allocation-regression gate: on a warmed arena, one exact constraint
+# scoring must perform zero heap allocations (the hot-path pooling
+# contract; testing.AllocsPerRun-based, so a single stray make fails it).
+go test -run TestAllocs -count=1 ./internal/eval
+
+# Hot-path semantics gate: regenerate the Table I snapshot and require
+# zero cube-count deltas against the committed baseline — the kernel,
+# pooling and incremental-rescore layers may only change wall time,
+# never a measurement.
+tables_tmp=$(mktemp /tmp/picola-bench.XXXXXX.json)
+go run ./cmd/tables -table 1 -json "$tables_tmp" >/dev/null
+go run ./cmd/tables -diff BENCH_1.json "$tables_tmp"
+rm -f "$tables_tmp"
 
 # The semantic verification oracle (internal/verify) must clear the
 # committed corpora plus a deterministic batch of random instances:
