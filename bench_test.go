@@ -288,6 +288,16 @@ func BenchmarkObsOverhead(b *testing.B) {
 			}
 		}
 	})
+	b.Run("ledger", func(b *testing.B) {
+		// The -ledger path: spans fold into the in-memory per-stage
+		// aggregate instead of (or, via Tee, in addition to) a JSONL sink.
+		l := obs.NewRunLedger("bench", obs.NewMetrics())
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Encode(p, core.Options{Trace: l}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // benchCubePairs builds a deterministic batch of random cube pairs over d

@@ -21,9 +21,12 @@
 //
 // Observability: -trace FILE streams structured JSONL span/event records
 // for every pipeline stage (restart, column, classify, guide, polish),
-// -metrics FILE writes the metrics-registry snapshot at exit, -cpuprofile
-// and -memprofile write pprof profiles, and -v prints a per-stage
-// wall-clock summary to stderr.
+// -metrics FILE writes the metrics-registry snapshot at exit, -ledger
+// FILE writes the per-run ledger record (per-stage profile, percentile
+// histograms, cache hit rates), -http ADDR serves the live introspection
+// endpoints (/metrics, /runs, /progress, /healthz, /debug/pprof) for the
+// duration of the run, -cpuprofile and -memprofile write pprof profiles,
+// and -v prints a per-stage wall-clock summary to stderr.
 package main
 
 import (
@@ -41,6 +44,7 @@ import (
 	"picola/internal/eval"
 	"picola/internal/face"
 	"picola/internal/obs"
+	"picola/internal/obs/obshttp"
 	"picola/internal/optenc"
 	"picola/internal/par"
 	"picola/internal/verify"
@@ -115,6 +119,7 @@ func main() {
 	jFlag := par.RegisterFlag(flag.CommandLine)
 	verbose := flag.Bool("v", false, "print a per-stage wall-clock summary to stderr")
 	var oc obs.Config
+	oc.Command = "picola"
 	oc.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	jWorkers = par.Workers(*jFlag)
@@ -132,6 +137,14 @@ func main() {
 	session, err := oc.Start()
 	if err != nil {
 		fatal(err)
+	}
+	httpSrv, err := obshttp.Start(oc.HTTPAddr, obshttp.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	if httpSrv != nil {
+		fmt.Fprintf(os.Stderr, "picola: introspection server on http://%s\n", httpSrv.Addr())
+		defer func() { _ = httpSrv.Close() }()
 	}
 
 	in := os.Stdin

@@ -14,6 +14,8 @@
 //
 // Observability: -trace FILE streams the PICOLA encoder's structured
 // JSONL events, -metrics FILE writes the metrics snapshot at exit,
+// -ledger FILE writes the per-run ledger record, -http ADDR serves the
+// live introspection endpoints for the duration of the run,
 // -cpuprofile/-memprofile write pprof profiles, and -v prints a per-stage
 // wall-clock summary to stderr.
 package main
@@ -32,6 +34,7 @@ import (
 	"picola/internal/face"
 	"picola/internal/kiss"
 	"picola/internal/obs"
+	"picola/internal/obs/obshttp"
 	"picola/internal/optenc"
 	"picola/internal/par"
 	"picola/internal/pla"
@@ -62,6 +65,7 @@ func main() {
 	jFlag := par.RegisterFlag(flag.CommandLine)
 	verbose := flag.Bool("v", false, "print a per-stage wall-clock summary to stderr")
 	var oc obs.Config
+	oc.Command = "stassign"
 	oc.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	jWorkers := par.Workers(*jFlag)
@@ -70,6 +74,14 @@ func main() {
 	session, err := oc.Start()
 	if err != nil {
 		fatal(err)
+	}
+	httpSrv, err := obshttp.Start(oc.HTTPAddr, obshttp.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	if httpSrv != nil {
+		fmt.Fprintf(os.Stderr, "stassign: introspection server on http://%s\n", httpSrv.Addr())
+		defer func() { _ = httpSrv.Close() }()
 	}
 	defer func() {
 		if *verbose {

@@ -24,8 +24,10 @@
 // encoders' internal portfolio/scoring). The default is GOMAXPROCS;
 // -j 1 reproduces the sequential execution exactly, and the output is
 // byte-identical at every -j (timing columns aside, which are only
-// meaningful at -j 1). Observability: -trace, -metrics, -cpuprofile,
-// -memprofile and -v as in cmd/picola.
+// meaningful at -j 1). Observability: -trace, -metrics, -ledger, -http,
+// -cpuprofile, -memprofile and -v as in cmd/picola; with -http the
+// /progress endpoint reports the live rows-done/rows-total position of
+// the running sweep.
 package main
 
 import (
@@ -44,6 +46,7 @@ import (
 	"picola/internal/eval"
 	"picola/internal/face"
 	"picola/internal/obs"
+	"picola/internal/obs/obshttp"
 	"picola/internal/par"
 	"picola/internal/power"
 	"picola/internal/report"
@@ -64,6 +67,7 @@ func main() {
 	check := flag.Bool("check", false, "run the semantic verification oracle on every encoding (tables 1 and 2); exit 1 with a shrunk repro on failure")
 	verbose := flag.Bool("v", false, "print a per-stage wall-clock summary to stderr")
 	var oc obs.Config
+	oc.Command = "tables"
 	oc.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	var ferr error
@@ -81,6 +85,15 @@ func main() {
 		os.Exit(1)
 	}
 	tracer = session.Tracer
+	httpSrv, herr := obshttp.Start(oc.HTTPAddr, obshttp.Options{})
+	if herr != nil {
+		fmt.Fprintln(os.Stderr, "tables:", herr)
+		os.Exit(1)
+	}
+	if httpSrv != nil {
+		fmt.Fprintf(os.Stderr, "tables: introspection server on http://%s\n", httpSrv.Addr())
+		defer func() { _ = httpSrv.Close() }()
+	}
 	var err error
 	var snap *benchSnapshot
 	exitCode := 0
@@ -563,9 +576,21 @@ func checkEncoded(fsm, encName string, prob *face.Problem, e *face.Encoding,
 // forEach maps fn over the specs, up to -j concurrently, and returns the
 // results in input order with the lowest-index error winning — the
 // deterministic row fan-out of the harness.
+// Progress gauges: a table run publishes rows-total before fanning out
+// and counts rows-done up as workers finish, so the introspection
+// server's /progress endpoint shows a live sweep position.
+var (
+	pDone  = obs.Default.Gauge(obs.ProgressDone)
+	pTotal = obs.Default.Gauge(obs.ProgressTotal)
+)
+
 func forEach[T any](specs []benchgen.Spec, fn func(benchgen.Spec) (T, error)) ([]T, error) {
+	pTotal.Set(int64(len(specs)))
+	pDone.Set(0)
 	return par.Map(len(specs), jWorkers, func(i int) (T, error) {
-		return fn(specs[i])
+		r, err := fn(specs[i])
+		pDone.Add(1)
+		return r, err
 	})
 }
 

@@ -12,6 +12,10 @@
 //
 // Any oracle failure prints the disagreements plus a shrunk consfile
 // repro and exits 1; exit 0 means every check passed.
+//
+// Observability: -trace, -metrics, -ledger, -http, -cpuprofile and
+// -memprofile as in cmd/picola — a long random audit with -http exposes
+// live /metrics and /debug/pprof while it runs.
 package main
 
 import (
@@ -27,6 +31,8 @@ import (
 	"picola/internal/core"
 	"picola/internal/eval"
 	"picola/internal/face"
+	"picola/internal/obs"
+	"picola/internal/obs/obshttp"
 	"picola/internal/optenc"
 	"picola/internal/par"
 	"picola/internal/verify"
@@ -82,9 +88,24 @@ func main() {
 	seed := flag.Int64("seed", 1, "seed for random instances and randomized encoders")
 	meta := flag.Bool("meta", true, "also check the metamorphic invariants")
 	jFlag := par.RegisterFlag(flag.CommandLine)
+	var oc obs.Config
+	oc.Command = "verify"
+	oc.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	jWorkers = par.Workers(*jFlag)
 	memo = eval.NewCache()
+
+	session, err := oc.Start()
+	if err != nil {
+		fatal(err)
+	}
+	httpSrv, err := obshttp.Start(oc.HTTPAddr, obshttp.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	if httpSrv != nil {
+		fmt.Fprintf(os.Stderr, "verify: introspection server on http://%s\n", httpSrv.Addr())
+	}
 
 	selected, err := selectEncoders(*algo)
 	if err != nil {
@@ -142,6 +163,10 @@ func main() {
 		}
 	}
 	fmt.Printf("audited %d instance/encoder pairs: %d failed\n", checks, failures)
+	_ = httpSrv.Close()
+	if err := session.Close(); err != nil {
+		fatal(err)
+	}
 	if failures > 0 {
 		os.Exit(1)
 	}

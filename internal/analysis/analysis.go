@@ -58,7 +58,7 @@ func (d Diagnostic) String() string {
 
 // All returns the registered analyzers in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Detrange, Seedrand, Spanend, Dropperr, Tracenil, Poolput}
+	return []*Analyzer{Detrange, Seedrand, Spanend, Dropperr, Tracenil, Poolput, Metricname}
 }
 
 // ByName resolves a comma-separated analyzer list ("" means all).

@@ -90,6 +90,8 @@ func TestDropperrFixture(t *testing.T) { checkFixture(t, Dropperr) }
 func TestTracenilFixture(t *testing.T) { checkFixture(t, Tracenil) }
 func TestPoolputFixture(t *testing.T)  { checkFixture(t, Poolput) }
 
+func TestMetricnameFixture(t *testing.T) { checkFixture(t, Metricname) }
+
 // TestDetrangeScope: map ranges outside the deterministic package set
 // are not detrange's business (blif writes files, never tables).
 func TestDetrangeScope(t *testing.T) {

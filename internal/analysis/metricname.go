@@ -1,0 +1,105 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+)
+
+// Metricname enforces the metric-registry naming contract: every name
+// passed to a registration method on obs.Metrics (Counter, Gauge, Timer,
+// Histogram, LatencyHistogram) must be a compile-time constant string —
+// a literal or a named const — matching [a-z0-9_.]+, and must be
+// registered at most once per package. Constant names keep the ledger,
+// the Prometheus exposition, and obsdiff series stable across runs and
+// greppable in the source; per-package uniqueness catches the
+// copy-paste-and-forget duplicate that silently merges two metrics into
+// one series. A deliberate shared registration across files is justified
+// with lint:ignore.
+var Metricname = &Analyzer{
+	Name: "metricname",
+	Doc:  "metric registrations must use unique constant names matching [a-z0-9_.]+",
+	Run:  runMetricname,
+}
+
+// metricNameRE is the allowed shape: lower-case dotted snake, the form
+// promName can map onto the Prometheus charset without collisions.
+var metricNameRE = regexp.MustCompile(`^[a-z0-9_.]+$`)
+
+// metricRegistrars are the obs.Metrics methods whose first argument is a
+// registry name.
+var metricRegistrars = map[string]bool{
+	"Counter":          true,
+	"Gauge":            true,
+	"Timer":            true,
+	"Histogram":        true,
+	"LatencyHistogram": true,
+}
+
+func runMetricname(p *Pass) []Diagnostic {
+	// The registry implementation itself forwards caller-supplied names
+	// between its own methods (LatencyHistogram → Histogram); the contract
+	// binds the registration sites, not the plumbing.
+	if p.ImportPath == "picola/internal/obs" {
+		return nil
+	}
+	var out []Diagnostic
+	seen := map[string]string{} // name → position of first registration
+	inspect(p.Files, func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !metricRegistrars[sel.Sel.Name] || !isObsMetrics(p.Info.TypeOf(sel.X)) {
+			return true
+		}
+		arg := call.Args[0]
+		tv, ok := p.Info.Types[arg]
+		if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+			out = append(out, Diagnostic{
+				Pos:      p.Fset.Position(arg.Pos()),
+				Analyzer: "metricname",
+				Message:  "metric name passed to " + sel.Sel.Name + " must be a constant string (literal or named const), not a computed value",
+			})
+			return true
+		}
+		name := constant.StringVal(tv.Value)
+		if !metricNameRE.MatchString(name) {
+			out = append(out, Diagnostic{
+				Pos:      p.Fset.Position(arg.Pos()),
+				Analyzer: "metricname",
+				Message:  "metric name " + name + " must match [a-z0-9_.]+",
+			})
+			return true
+		}
+		if first, dup := seen[name]; dup {
+			out = append(out, Diagnostic{
+				Pos:      p.Fset.Position(arg.Pos()),
+				Analyzer: "metricname",
+				Message:  "metric " + name + " already registered in this package at " + first + "; reuse the variable instead",
+			})
+			return true
+		}
+		seen[name] = p.Fset.Position(arg.Pos()).String()
+		return true
+	})
+	return out
+}
+
+// isObsMetrics reports whether t is (a pointer to) obs.Metrics.
+func isObsMetrics(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return pkgPathOf(obj) == "picola/internal/obs" && obj.Name() == "Metrics"
+}

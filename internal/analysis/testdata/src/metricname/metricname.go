@@ -1,0 +1,54 @@
+// Package metricname is the analyzer fixture: each line marked `want`
+// must be flagged, every other line must stay clean.
+package metricname
+
+import "picola/internal/obs"
+
+// Named consts are constant strings too — the preferred shape for names
+// shared between a registrar and a reader.
+const goodConst = "fixture.progress.done"
+
+var (
+	goodLiteral = obs.Default.Counter("fixture.metricname.hits")
+	goodNamed   = obs.Default.Gauge(goodConst)
+	goodTimer   = obs.Default.Timer("fixture.stage_9.time")
+	goodHist    = obs.Default.Histogram("fixture.sizes", 4, 16)
+	goodLatency = obs.Default.LatencyHistogram("fixture.encode_ns")
+)
+
+// dynamic builds a name at runtime: unregisterable by grep, unstable as
+// a series key.
+func dynamic(suffix string) *obs.Counter {
+	return obs.Default.Counter("fixture." + suffix) // want "constant string"
+}
+
+var badUpper = obs.Default.Counter("Fixture.Upper") // want "must match"
+
+var badSpace = obs.Default.Timer("fixture metric") // want "must match"
+
+var badDash = obs.Default.Gauge("fixture-dash") // want "must match"
+
+// A second registration of an already-registered name merges two
+// intended series into one.
+var dupOfLiteral = obs.Default.Counter("fixture.metricname.hits") // want "already registered"
+
+// Registrations on a non-Default registry are held to the same contract.
+func customRegistry() {
+	m := obs.NewMetrics()
+	m.Counter("fixture.custom.ok")
+	name := "fixture.custom.bad"
+	_ = name
+	m.Counter(nameOf()) // want "constant string"
+}
+
+func nameOf() string { return "fixture.run_time" }
+
+// Unrelated methods with string arguments are not metric registrations.
+type other struct{}
+
+func (other) Counter(name string) {}
+
+func notARegistry() {
+	var o other
+	o.Counter("Whatever Goes")
+}

@@ -46,6 +46,9 @@ var (
 	tPolish      = obs.Default.Timer("core.stage.polish")
 	tExactPolish = obs.Default.Timer("core.stage.exact_polish")
 	tFinalize    = obs.Default.Timer("core.stage.finalize")
+	// hEncode records whole-Encode latency: the distribution behind the
+	// per-row percentile columns of the run ledger.
+	hEncode = obs.Default.LatencyHistogram("core.encode_ns")
 )
 
 // Kind distinguishes original face constraints from guide-constraints.
@@ -207,6 +210,8 @@ type encoder struct {
 // portfolio of column-generation variants is tried and the best result by
 // the cube estimate kept (Options.Restarts).
 func Encode(p *face.Problem, opts ...Options) (*Result, error) {
+	t0 := time.Now()
+	defer func() { hEncode.Observe(int64(time.Since(t0))) }()
 	var o Options
 	if len(opts) > 0 {
 		o = opts[0]

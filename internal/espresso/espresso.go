@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"picola/internal/cover"
 	"picola/internal/covering"
@@ -89,6 +90,7 @@ var (
 	mMinimize   = obs.Default.Counter("espresso.minimize")
 	mIterations = obs.Default.Counter("espresso.iterations")
 	tMinimize   = obs.Default.Timer("espresso.minimize.time")
+	hMinimizeNS = obs.Default.LatencyHistogram("espresso.minimize_ns")
 	hOnSize     = obs.Default.Histogram("espresso.on_size", 4, 16, 64, 256, 1024)
 )
 
@@ -148,7 +150,12 @@ func Minimize(f *Function, opts ...Options) (*cover.Cover, error) {
 	}
 	mMinimize.Inc()
 	hOnSize.Observe(int64(f.On.Len()))
-	defer tMinimize.Start()()
+	t0 := time.Now()
+	defer func() {
+		d := time.Since(t0)
+		tMinimize.Observe(d)
+		hMinimizeNS.Observe(int64(d))
+	}()
 	d := f.D
 	dc := f.DC
 	off := f.Off

@@ -2,6 +2,7 @@ package eval
 
 import (
 	"sync"
+	"time"
 
 	"picola/internal/face"
 	"picola/internal/obs"
@@ -11,12 +12,17 @@ import (
 // that bypassed the cache (code space too wide, or a non-injective
 // encoding whose function a bitset key cannot canonicalize). The
 // hit-rate gauge is exported in whole percent for -metrics snapshots.
+// The lookup histogram records the caller-visible latency of every
+// cached request — hits land in the lowest buckets, misses carry the
+// minimization they had to run — so its p50/p99 split is the live view
+// of how much the memo-cache is actually saving.
 var (
 	mCacheHits   = obs.Default.Counter("eval.cache.hits")
 	mCacheMisses = obs.Default.Counter("eval.cache.misses")
 	mCacheBypass = obs.Default.Counter("eval.cache.bypass")
 	gCacheRate   = obs.Default.Gauge("eval.cache.hit_rate_pct")
 	gCacheLen    = obs.Default.Gauge("eval.cache.entries")
+	hCacheLookup = obs.Default.LatencyHistogram("eval.cache.lookup_ns")
 )
 
 const (
@@ -89,6 +95,8 @@ func (c *Cache) cubes(e *face.Encoding, con face.Constraint, heuristic bool) (in
 	if c == nil {
 		return minimizeConstraint(e, con, heuristic)
 	}
+	t0 := time.Now()
+	defer func() { hCacheLookup.Observe(int64(time.Since(t0))) }()
 	key, ok := cacheKey(e, con, heuristic)
 	if !ok {
 		mCacheBypass.Inc()

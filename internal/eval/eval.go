@@ -6,6 +6,8 @@
 package eval
 
 import (
+	"time"
+
 	"picola/internal/cover"
 	"picola/internal/cube"
 	"picola/internal/espresso"
@@ -17,13 +19,17 @@ import (
 
 // Evaluation metrics: how many constraint functions were minimized, by
 // which minimizer, and how many minimizer calls Evaluate skipped because
-// the constraint was satisfied (one cube by construction).
+// the constraint was satisfied (one cube by construction). The latency
+// histograms feed the percentile snapshots of the run ledger: one whole
+// evaluation, and one per-constraint minimization (exact or heuristic).
 var (
 	mConstraintCubes = obs.Default.Counter("eval.constraint_cubes")
 	mExact           = obs.Default.Counter("eval.exact")
 	mHeuristic       = obs.Default.Counter("eval.heuristic")
 	mSatShortcut     = obs.Default.Counter("eval.satisfied_shortcut")
 	tEvaluate        = obs.Default.Timer("eval.evaluate")
+	hEvaluate        = obs.Default.LatencyHistogram("eval.evaluate_ns")
+	hMinimize        = obs.Default.LatencyHistogram("eval.minimize_ns")
 )
 
 // codeCube converts symbol sym's code into a 0-dimensional cube.
@@ -77,6 +83,8 @@ func ConstraintCubesHeuristic(e *face.Encoding, c face.Constraint) (int, error) 
 // single compute path Cache memoizes.
 func minimizeConstraint(e *face.Encoding, c face.Constraint, heuristic bool) (int, error) {
 	mConstraintCubes.Inc()
+	t0 := time.Now()
+	defer func() { hMinimize.Observe(int64(time.Since(t0))) }()
 	if !heuristic && e.NV <= exact.MaxInputs {
 		// Exact path: pooled, count-only, zero steady-state allocations.
 		// The scorer's Counter mirrors exact.Minimize exactly, so the
@@ -124,7 +132,12 @@ type Options struct {
 
 // Evaluate scores the encoding against every constraint of the problem.
 func Evaluate(p *face.Problem, e *face.Encoding, opts ...Options) (*Cost, error) {
-	defer tEvaluate.Start()()
+	t0 := time.Now()
+	defer func() {
+		d := time.Since(t0)
+		tEvaluate.Observe(d)
+		hEvaluate.Observe(int64(d))
+	}()
 	var o Options
 	if len(opts) > 0 {
 		o = opts[0]

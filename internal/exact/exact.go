@@ -12,6 +12,7 @@ package exact
 
 import (
 	"fmt"
+	"time"
 
 	"picola/internal/cover"
 	"picola/internal/covering"
@@ -26,6 +27,7 @@ import (
 var (
 	mMinimize = obs.Default.Counter("espresso.exact_minimize")
 	tMinimize = obs.Default.Timer("espresso.exact_minimize.time")
+	hMinimize = obs.Default.LatencyHistogram("espresso.exact_minimize_ns")
 )
 
 // MaxInputs bounds the accepted input count (3^n cubes are enumerated).
@@ -49,7 +51,12 @@ type icube struct {
 // for a pure single-output function over a binary domain.
 func Minimize(f *espresso.Function, inputs int) (*cover.Cover, error) {
 	mMinimize.Inc()
-	defer tMinimize.Start()()
+	t0 := time.Now()
+	defer func() {
+		d := time.Since(t0)
+		tMinimize.Observe(d)
+		hMinimize.Observe(int64(d))
+	}()
 	d := f.D
 	if inputs < 0 || inputs > d.NumVars() || d.NumVars()-inputs > 1 {
 		return nil, fmt.Errorf("exact: domain must be inputs plus at most one output variable")

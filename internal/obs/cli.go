@@ -13,21 +13,29 @@ import (
 )
 
 // Config bundles the standard observability command-line flags shared by
-// the commands (picola, stassign, tables).
+// the commands (picola, stassign, tables, verify).
 type Config struct {
+	// Command names the running CLI in ledger records; the commands set
+	// it before Start.
+	Command        string
 	TracePath      string
 	TraceFormat    string
 	MetricsPath    string
+	LedgerPath     string
+	HTTPAddr       string
 	CPUProfilePath string
 	MemProfilePath string
 }
 
-// RegisterFlags installs -trace, -traceformat, -metrics, -cpuprofile and
-// -memprofile on fs.
+// RegisterFlags installs -trace, -traceformat, -metrics, -ledger, -http,
+// -cpuprofile and -memprofile on fs. The -http server itself is started
+// by the command via obshttp.Start (obs stays free of net/http).
 func (c *Config) RegisterFlags(fs *flag.FlagSet) {
 	fs.StringVar(&c.TracePath, "trace", "", "write structured trace events to `FILE` (\"-\" for stdout)")
 	fs.StringVar(&c.TraceFormat, "traceformat", "jsonl", "trace format: jsonl or text")
 	fs.StringVar(&c.MetricsPath, "metrics", "", "write a metrics snapshot JSON to `FILE` at exit (\"-\" for stdout)")
+	fs.StringVar(&c.LedgerPath, "ledger", "", "write the per-run ledger record JSON to `FILE` at exit (\"-\" for stdout)")
+	fs.StringVar(&c.HTTPAddr, "http", "", "serve the live introspection endpoints (/metrics, /runs, /progress, /healthz, /debug/pprof) on `ADDR` for the duration of the run")
 	fs.StringVar(&c.CPUProfilePath, "cpuprofile", "", "write a pprof CPU profile to `FILE`")
 	fs.StringVar(&c.MemProfilePath, "memprofile", "", "write a pprof heap profile to `FILE` at exit")
 }
@@ -38,6 +46,10 @@ func (c *Config) RegisterFlags(fs *flag.FlagSet) {
 type Session struct {
 	Tracer  Tracer
 	Metrics *Metrics // snapshot source for -metrics; Default if unset
+	// Ledger aggregates the run's spans when -ledger or -http is active
+	// (it is Tee'd into Tracer); nil otherwise. Close finalizes it into
+	// the Recent ring and the -ledger file.
+	Ledger *RunLedger
 
 	cfg        Config
 	traceFile  *os.File
@@ -81,14 +93,19 @@ func (c Config) Start() (*Session, error) {
 		}
 		s.cpuFile = f
 	}
+	if c.LedgerPath != "" || c.HTTPAddr != "" {
+		s.Ledger = NewRunLedger(c.Command, s.Metrics)
+		s.Tracer = Tee(s.Ledger, s.Tracer)
+	}
 	return s, nil
 }
 
-// Close stops the CPU profile, flushes the trace sink, and writes the
+// Close stops the CPU profile, flushes the trace sink, finalizes the run
+// ledger (into the Recent ring and the -ledger file), and writes the
 // heap profile and the metrics snapshot. The trace is flushed before the
-// metrics snapshot so that when both target stdout ("-") the JSONL
-// stream ends before the snapshot object begins. The first error wins
-// but every finalizer runs.
+// ledger and metrics writers so that when several target stdout ("-")
+// the JSONL stream ends before any snapshot object begins. The first
+// error wins but every finalizer runs.
 func (s *Session) Close() error {
 	var first error
 	keep := func(err error) {
@@ -107,6 +124,21 @@ func (s *Session) Close() error {
 			keep(s.traceFile.Close())
 		}
 		s.flusher = nil
+	}
+	if s.Ledger != nil {
+		rec := s.Ledger.Finalize()
+		Recent.Add(rec)
+		if s.cfg.LedgerPath != "" {
+			f, owned, err := openOut(s.cfg.LedgerPath)
+			keep(err)
+			if err == nil {
+				keep(rec.WriteJSON(f))
+				if owned {
+					keep(f.Close())
+				}
+			}
+		}
+		s.Ledger = nil
 	}
 	if s.cfg.MemProfilePath != "" {
 		f, owned, err := openOut(s.cfg.MemProfilePath)

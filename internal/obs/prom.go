@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// promName sanitizes a registry name for the Prometheus text exposition:
+// every character outside [a-z0-9_] becomes '_' (in this repo that is
+// only the '.', enforced by the metricname picolint analyzer), and the
+// result carries the "picola_" namespace prefix.
+func promName(name string) string {
+	b := []byte("picola_" + name)
+	for i := range b {
+		c := b[i]
+		if !('a' <= c && c <= 'z' || '0' <= c && c <= '9' || c == '_') {
+			b[i] = '_'
+		}
+	}
+	return string(b)
+}
+
+// promFloat renders a float the shortest way that round-trips.
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// sortedNames returns the map's keys in sorted order.
+func sortedNames[V any](m map[string]V) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// WriteProm writes the snapshot in the Prometheus text exposition format
+// (version 0.0.4): counters and gauges verbatim, timers as quantile-less
+// summaries with the sum converted to seconds, histograms as cumulative
+// le-bucket histograms in their recorded unit (the latency histograms
+// carry an explicit _ns suffix in their registry name). Families print
+// per category in sorted name order, so a fixed snapshot renders
+// byte-identically — the determinism contract the smoke tests check.
+func (s *Snapshot) WriteProm(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, k := range sortedNames(s.Counters) {
+		n := promName(k)
+		fmt.Fprintf(bw, "# TYPE %s counter\n%s %d\n", n, n, s.Counters[k])
+	}
+	for _, k := range sortedNames(s.Gauges) {
+		n := promName(k)
+		fmt.Fprintf(bw, "# TYPE %s gauge\n%s %d\n", n, n, s.Gauges[k])
+	}
+	for _, k := range sortedNames(s.Timers) {
+		n := promName(k)
+		t := s.Timers[k]
+		fmt.Fprintf(bw, "# TYPE %s summary\n", n)
+		fmt.Fprintf(bw, "%s_sum %s\n", n, promFloat(float64(t.TotalNS)/1e9))
+		fmt.Fprintf(bw, "%s_count %d\n", n, t.Count)
+	}
+	for _, k := range sortedNames(s.Histograms) {
+		n := promName(k)
+		h := s.Histograms[k]
+		fmt.Fprintf(bw, "# TYPE %s histogram\n", n)
+		var cum int64
+		for i, b := range h.Bounds {
+			if i < len(h.Buckets) {
+				cum += h.Buckets[i]
+			}
+			fmt.Fprintf(bw, "%s_bucket{le=\"%d\"} %d\n", n, b, cum)
+		}
+		fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", n, h.Count)
+		fmt.Fprintf(bw, "%s_sum %d\n", n, h.Sum)
+		fmt.Fprintf(bw, "%s_count %d\n", n, h.Count)
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"bytes"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+// promSnapshot builds a small registry exercising all four families.
+func promSnapshot() *Snapshot {
+	m := NewMetrics()
+	m.Counter("core.encodes").Add(42)
+	m.Gauge("progress.done").Set(7)
+	m.Timer("eval.evaluate").Observe(1500 * time.Millisecond)
+	h := m.Histogram("espresso.on_size", 4, 16)
+	h.Observe(3)
+	h.Observe(10)
+	h.Observe(99)
+	return m.Snapshot()
+}
+
+func TestWritePromFamilies(t *testing.T) {
+	var buf bytes.Buffer
+	if err := promSnapshot().WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE picola_core_encodes counter\npicola_core_encodes 42\n",
+		"# TYPE picola_progress_done gauge\npicola_progress_done 7\n",
+		"# TYPE picola_eval_evaluate summary\npicola_eval_evaluate_sum 1.5\npicola_eval_evaluate_count 1\n",
+		"# TYPE picola_espresso_on_size histogram\n",
+		"picola_espresso_on_size_bucket{le=\"4\"} 1\n",
+		"picola_espresso_on_size_bucket{le=\"16\"} 2\n",
+		"picola_espresso_on_size_bucket{le=\"+Inf\"} 3\n",
+		"picola_espresso_on_size_sum 112\n",
+		"picola_espresso_on_size_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// promLine matches the two legal non-comment line shapes of the text
+// exposition: `name value` and `name{le="bound"} value`.
+var promLine = regexp.MustCompile(`^[a-z_][a-z0-9_]*(\{le="(\+Inf|[0-9]+)"\})? -?[0-9.e+-]+$`)
+
+func TestWritePromLinesParse(t *testing.T) {
+	var buf bytes.Buffer
+	if err := promSnapshot().WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimRight(buf.String(), "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		if !promLine.MatchString(line) {
+			t.Errorf("malformed exposition line: %q", line)
+		}
+	}
+}
+
+func TestWritePromDeterministic(t *testing.T) {
+	s := promSnapshot()
+	var a, b bytes.Buffer
+	if err := s.WriteProm(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("two renders of one snapshot differ")
+	}
+}
+
+func TestWritePromBucketsAreCumulative(t *testing.T) {
+	m := NewMetrics()
+	h := m.Histogram("h", 1, 2, 3)
+	for _, v := range []int64{1, 2, 2, 3} {
+		h.Observe(v)
+	}
+	var buf bytes.Buffer
+	if err := m.Snapshot().WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`picola_h_bucket{le="1"} 1`,
+		`picola_h_bucket{le="2"} 3`,
+		`picola_h_bucket{le="3"} 4`,
+		`picola_h_bucket{le="+Inf"} 4`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("missing cumulative bucket %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"core.encodes":      "picola_core_encodes",
+		"eval.cache.hits":   "picola_eval_cache_hits",
+		"stage_9":           "picola_stage_9",
+		"already_sanitized": "picola_already_sanitized",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

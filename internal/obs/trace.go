@@ -63,6 +63,35 @@ func Emit(t Tracer, e Event) {
 // MS converts a duration to the milliseconds float the trace records use.
 func MS(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
 
+// Tee fans events out to every non-nil tracer. It collapses trivially:
+// nil when none remain (tracing stays off and free), the tracer itself
+// when exactly one remains (no indirection on the emit path).
+func Tee(ts ...Tracer) Tracer {
+	var live multiTracer
+	for _, t := range ts {
+		if t != nil {
+			live = append(live, t)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return live
+}
+
+// multiTracer is Tee's fan-out sink; elements are non-nil by construction.
+type multiTracer []Tracer
+
+// Emit implements Tracer.
+func (m multiTracer) Emit(e Event) {
+	for _, t := range m {
+		t.Emit(e)
+	}
+}
+
 // JSONL is a Tracer writing one JSON object per line.
 type JSONL struct {
 	mu    sync.Mutex

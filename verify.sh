@@ -12,7 +12,7 @@ go build ./...
 # fixture violation (one positive fixture per analyzer) — a lint suite
 # that stops firing is worse than none.
 go run ./cmd/picolint ./...
-for a in detrange seedrand spanend dropperr tracenil poolput; do
+for a in detrange seedrand spanend dropperr tracenil poolput metricname; do
   if go run ./cmd/picolint "./internal/analysis/testdata/src/$a" >/dev/null 2>&1; then
     echo "picolint no longer flags the $a fixture" >&2
     exit 1
@@ -30,11 +30,44 @@ go test -run TestAllocs -count=1 ./internal/eval
 # Hot-path semantics gate: regenerate the Table I snapshot and require
 # zero cube-count deltas against the committed baseline — the kernel,
 # pooling and incremental-rescore layers may only change wall time,
-# never a measurement.
+# never a measurement. The run doubles as the observability zero-delta
+# gate: it records a -ledger alongside, proving that enabling the run
+# ledger changes no measurement either.
 tables_tmp=$(mktemp /tmp/picola-bench.XXXXXX.json)
-go run ./cmd/tables -table 1 -json "$tables_tmp" >/dev/null
+ledger_tmp=$(mktemp /tmp/picola-ledger.XXXXXX.json)
+go run ./cmd/tables -table 1 -json "$tables_tmp" -ledger "$ledger_tmp" >/dev/null
 go run ./cmd/tables -diff BENCH_1.json "$tables_tmp"
-rm -f "$tables_tmp"
+grep -q '"schema": "picola-ledger/v1"' "$ledger_tmp"
+
+# Regression-comparator self-consistency: obsdiff of a snapshot against
+# itself must exit 0 for both input kinds, whatever the thresholds.
+go run ./cmd/obsdiff "$ledger_tmp" "$ledger_tmp"
+go run ./cmd/obsdiff BENCH_1.json BENCH_1.json
+rm -f "$tables_tmp" "$ledger_tmp"
+
+# Introspection-server smoke: run a sweep with -http on an ephemeral
+# port, scrape /healthz and /metrics while it serves, and check that the
+# Prometheus exposition carries the core counter family.
+obs_bin=$(mktemp /tmp/picola-tables.XXXXXX)
+obs_log=$(mktemp /tmp/picola-http.XXXXXX.log)
+go build -o "$obs_bin" ./cmd/tables
+"$obs_bin" -table 1 -check -http 127.0.0.1:0 >/dev/null 2>"$obs_log" &
+obs_pid=$!
+obs_addr=""
+for i in $(seq 1 50); do
+  obs_addr=$(sed -n 's,^tables: introspection server on http://,,p' "$obs_log")
+  [ -n "$obs_addr" ] && break
+  sleep 0.1
+done
+[ -n "$obs_addr" ] || { cat "$obs_log" >&2; exit 1; }
+# (plain grep, not -q: -q exits at the first match and the broken pipe
+# makes curl -f report a write error)
+curl -fsS "http://$obs_addr/healthz" | grep '^ok$' >/dev/null
+curl -fsS "http://$obs_addr/metrics" | grep '^picola_core_encodes ' >/dev/null
+curl -fsS "http://$obs_addr/metrics?format=json" | grep '"counters"' >/dev/null
+curl -fsS "http://$obs_addr/progress" | grep '"total"' >/dev/null
+wait "$obs_pid"
+rm -f "$obs_bin" "$obs_log"
 
 # The semantic verification oracle (internal/verify) must clear the
 # committed corpora plus a deterministic batch of random instances:
