@@ -43,6 +43,9 @@ type Pass struct {
 	Files      []*ast.File
 	Pkg        *types.Package
 	Info       *types.Info
+	// Prog is the whole-program context (call graph + summaries) shared
+	// by every pass of one run; the interprocedural analyzers read it.
+	Prog *Program
 }
 
 // Diagnostic is one finding.
@@ -58,7 +61,10 @@ func (d Diagnostic) String() string {
 
 // All returns the registered analyzers in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Detrange, Seedrand, Spanend, Dropperr, Tracenil, Poolput, Metricname}
+	return []*Analyzer{
+		Detrange, Seedrand, Spanend, Dropperr, Tracenil, Poolput, Metricname,
+		Dettaint, Lockcheck, Leakcheck, Hotalloc,
+	}
 }
 
 // ByName resolves a comma-separated analyzer list ("" means all).
@@ -91,9 +97,17 @@ type ignoreDirective struct {
 }
 
 // Run applies the analyzers to pkg, filters suppressed findings, and
-// returns the rest position-sorted. Malformed or unused lint:ignore
-// directives are reported as findings of the pseudo-analyzer "lint".
+// returns the rest position-sorted. The whole-program context is built
+// from the single package; use RunProgram for cross-package resolution.
 func Run(analyzers []*Analyzer, pkg *Package) []Diagnostic {
+	return RunProgram(BuildProgram([]*Package{pkg}), analyzers, pkg)
+}
+
+// RunProgram applies the analyzers to one package of a pre-built
+// program, filters suppressed findings, and returns the rest
+// position-sorted. Malformed or unused lint:ignore directives are
+// reported as findings of the pseudo-analyzer "lint".
+func RunProgram(prog *Program, analyzers []*Analyzer, pkg *Package) []Diagnostic {
 	pass := &Pass{
 		Fset:       pkg.Fset,
 		ImportPath: pkg.ImportPath,
@@ -101,6 +115,7 @@ func Run(analyzers []*Analyzer, pkg *Package) []Diagnostic {
 		Files:      pkg.Files,
 		Pkg:        pkg.Types,
 		Info:       pkg.Info,
+		Prog:       prog,
 	}
 	var raw []Diagnostic
 	for _, a := range analyzers {

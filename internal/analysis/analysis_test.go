@@ -125,10 +125,18 @@ func TestWholeTreeClean(t *testing.T) {
 	if len(pkgs) < 20 {
 		t.Fatalf("suspiciously few packages loaded: %d", len(pkgs))
 	}
+	base, err := LoadBaseline(filepath.Join(l.ModuleDir, "picolint.baseline"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := BuildProgram(pkgs)
+	var all []Diagnostic
 	for _, pkg := range pkgs {
-		for _, d := range Run(All(), pkg) {
-			t.Errorf("%s", d)
-		}
+		all = append(all, RunProgram(prog, All(), pkg)...)
+	}
+	rest := base.Filter(l.ModuleDir, all)
+	for _, d := range append(rest, base.Stale()...) {
+		t.Errorf("%s", d)
 	}
 }
 

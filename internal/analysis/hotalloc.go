@@ -1,0 +1,68 @@
+package analysis
+
+// Hotalloc statically guards the zero-steady-state-allocation property
+// that PR 5's pooling work bought and TestAllocs enforces dynamically:
+// a function annotated
+//
+//	//picola:hot
+//
+// in its doc comment promises not to allocate per call. The analyzer
+// reports
+//
+//   - direct allocation sites in a hot function's body (make/new,
+//     &composite literals, growing append, escaping closures, fmt
+//     calls, string<->[]byte copies), minus the sanctioned shapes the
+//     pooling idiom uses (capacity-guarded growth of a reused buffer,
+//     appends to a struct-field arena, error construction on the cold
+//     return path), and
+//   - call edges from a hot function to a module function that the
+//     summary fixpoint proved allocates, naming the offending callee —
+//     so a refactor that moves the make() two calls down still trips
+//     the gate.
+//
+// Hot callees are trusted (their own sites are reported at their own
+// declaration), keeping each finding attached to the code that must
+// change.
+var Hotalloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "heap allocation inside, or reachable from, a //picola:hot function",
+	Run:  runHotalloc,
+}
+
+func runHotalloc(p *Pass) []Diagnostic {
+	var out []Diagnostic
+	for _, fn := range p.Prog.funcList {
+		if fn.Pkg.ImportPath != p.ImportPath || !fn.Hot {
+			continue
+		}
+		for _, site := range fn.summary.allocs {
+			out = append(out, Diagnostic{
+				Pos:      p.Fset.Position(site.pos),
+				Analyzer: "hotalloc",
+				Message:  "hot function " + fn.Name() + " allocates per call (" + site.what + "); pool it, reuse a buffer, or move it off the hot path",
+			})
+		}
+		// Interprocedural: static/method edges into allocating non-hot
+		// module code. Dedup per callee so a helper called in a loop is
+		// reported once per call site, not per summary entry.
+		for _, e := range fn.Out {
+			if e.Callee == nil || e.Callee.Hot {
+				continue
+			}
+			if e.Kind != EdgeStatic && e.Kind != EdgeMethod {
+				continue
+			}
+			s := e.Callee.summary
+			if s == nil || !s.Allocates {
+				continue
+			}
+			out = append(out, Diagnostic{
+				Pos:      p.Fset.Position(e.Site.Pos()),
+				Analyzer: "hotalloc",
+				Message:  "hot function " + fn.Name() + " calls " + e.Callee.Name() + ", which allocates (" + s.AllocWhat + "); inline a pooled fast path or mark the callee //picola:hot after de-allocating it",
+			})
+		}
+	}
+	sortDiagnostics(out)
+	return out
+}

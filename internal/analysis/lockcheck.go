@@ -1,0 +1,296 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Lockcheck enforces three mutex invariants in internal/ code, the
+// surface the daemon and batch-engine work will multiply:
+//
+//  1. no mutex copied by value — a value receiver, parameter, result or
+//     dereferencing assignment of a type that (transitively) contains a
+//     sync.Mutex/RWMutex copies the lock state;
+//  2. no Lock left behind on an early return or panic path — a Lock
+//     without a deferred Unlock must reach its Unlock before any return,
+//     and its critical section must not call functions that can panic
+//     with the lock held (any non-builtin call: use defer, or shrink
+//     the section to pure operations);
+//  3. no summary-visible double-lock — while a mutex field is held, no
+//     (transitively reachable, static/method-resolved) callee may
+//     acquire the same field: lock identity is the declared field, so
+//     the check is receiver-insensitive by design and deliberate
+//     self-similar locking carries a justification.
+var Lockcheck = &Analyzer{
+	Name: "lockcheck",
+	Doc:  "mutex copied by value, Lock without Unlock on a return/panic path, or double-lock through a visible call chain",
+	Run:  runLockcheck,
+}
+
+func runLockcheck(p *Pass) []Diagnostic {
+	if !strings.Contains(p.ImportPath, "/internal/") && !isTestdataPkg(p.ImportPath) {
+		return nil
+	}
+	var out []Diagnostic
+	out = append(out, copiedLocks(p)...)
+	for _, fn := range p.Prog.funcList {
+		if fn.Pkg.ImportPath != p.ImportPath {
+			continue
+		}
+		out = append(out, checkLockPaths(p, fn)...)
+	}
+	return out
+}
+
+// copiedLocks flags signatures and assignments that copy a lock-bearing
+// value.
+func copiedLocks(p *Pass) []Diagnostic {
+	var out []Diagnostic
+	flag := func(pos token.Pos, what string) {
+		out = append(out, Diagnostic{
+			Pos:      p.Fset.Position(pos),
+			Analyzer: "lockcheck",
+			Message:  what + " copies its sync.Mutex; use a pointer",
+		})
+	}
+	inspect(p.Files, func(n ast.Node, stack []ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncDecl:
+			sig, ok := p.Info.Defs[x.Name].(*types.Func)
+			if !ok {
+				return true
+			}
+			st := sig.Type().(*types.Signature)
+			if r := st.Recv(); r != nil && containsLock(r.Type(), 0) {
+				flag(x.Name.Pos(), "value receiver of "+x.Name.Name)
+			}
+			for i := 0; i < st.Params().Len(); i++ {
+				if containsLock(st.Params().At(i).Type(), 0) {
+					flag(st.Params().At(i).Pos(), "parameter "+st.Params().At(i).Name()+" of "+x.Name.Name)
+				}
+			}
+			for i := 0; i < st.Results().Len(); i++ {
+				if containsLock(st.Results().At(i).Type(), 0) {
+					flag(x.Name.Pos(), "result "+itoa(i)+" of "+x.Name.Name)
+				}
+			}
+		case *ast.AssignStmt:
+			for _, rhs := range x.Rhs {
+				if star, ok := ast.Unparen(rhs).(*ast.StarExpr); ok {
+					if t := p.Info.TypeOf(star); t != nil && containsLock(t, 0) {
+						flag(rhs.Pos(), "dereferencing assignment")
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			if x.Value != nil {
+				if t := p.Info.TypeOf(x.Value); t != nil && containsLock(t, 0) {
+					flag(x.Value.Pos(), "range value")
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// containsLock reports whether t directly or transitively (through
+// struct fields and arrays, depth-bounded) contains a sync.Mutex or
+// sync.RWMutex by value.
+func containsLock(t types.Type, depth int) bool {
+	if depth > 6 || t == nil {
+		return false
+	}
+	if isSyncLocker(t) {
+		// isSyncLocker strips one pointer; re-check that t itself is
+		// not a pointer (a *Mutex is fine to copy).
+		if _, isPtr := t.Underlying().(*types.Pointer); !isPtr {
+			return true
+		}
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsLock(u.Field(i).Type(), depth+1) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLock(u.Elem(), depth+1)
+	}
+	return false
+}
+
+// lockOp is one Lock/RLock/Unlock/RUnlock call inside a function body,
+// in source order.
+type lockOp struct {
+	pos     token.Pos
+	id      lockID
+	acquire bool
+	read    bool
+	defered bool
+	expr    string
+}
+
+// checkLockPaths runs the early-return / panic-path / double-lock
+// checks over one function, using the same lexical-position approach as
+// poolput: between an acquire and its first matching release, no return
+// may occur and no panic-capable call may run unless the release is
+// deferred.
+func checkLockPaths(p *Pass, fn *Func) []Diagnostic {
+	info := fn.Pkg.Info
+	var ops []lockOp
+	var rets []token.Pos
+	calls := map[token.Pos]*ast.CallExpr{} // non-lock calls in the body
+	ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false // closures pair their own locks
+		case *ast.ReturnStmt:
+			rets = append(rets, x.Pos())
+		case *ast.DeferStmt:
+			if id := lockedMutex(info, x.Call, "Unlock", "RUnlock"); id != nil {
+				sel := x.Call.Fun.(*ast.SelectorExpr)
+				ops = append(ops, lockOp{pos: x.Pos(), id: id, defered: true,
+					read: sel.Sel.Name == "RUnlock", expr: types.ExprString(sel.X)})
+				return false
+			}
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok {
+				if id := lockedMutex(info, x, "Lock", "RLock"); id != nil {
+					ops = append(ops, lockOp{pos: x.Pos(), id: id, acquire: true,
+						read: sel.Sel.Name == "RLock", expr: types.ExprString(sel.X)})
+					return true
+				}
+				if id := lockedMutex(info, x, "Unlock", "RUnlock"); id != nil {
+					ops = append(ops, lockOp{pos: x.Pos(), id: id,
+						read: sel.Sel.Name == "RUnlock", expr: types.ExprString(sel.X)})
+					return true
+				}
+			}
+			if isArbitraryCall(info, x) {
+				calls[x.Pos()] = x
+			}
+		}
+		return true
+	})
+
+	var out []Diagnostic
+	for _, acq := range ops {
+		if !acq.acquire {
+			continue
+		}
+		// A deferred Unlock of the same mutex anywhere covers all paths.
+		release := token.Pos(-1)
+		covered := false
+		for _, rel := range ops {
+			if rel.acquire || rel.id != acq.id || rel.read != acq.read {
+				continue
+			}
+			if rel.defered {
+				covered = true
+				break
+			}
+			if rel.pos > acq.pos && (release < 0 || rel.pos < release) {
+				release = rel.pos
+			}
+		}
+		lockCall := acq.expr + "." + map[bool]string{true: "RLock", false: "Lock"}[acq.read]
+		if !covered {
+			switch {
+			case release < 0:
+				out = append(out, Diagnostic{
+					Pos:      p.Fset.Position(acq.pos),
+					Analyzer: "lockcheck",
+					Message:  lockCall + " is never released in this function; add the matching Unlock (prefer defer)",
+				})
+				continue
+			default:
+				reported := false
+				for _, r := range rets {
+					if acq.pos < r && r < release {
+						out = append(out, Diagnostic{
+							Pos:      p.Fset.Position(acq.pos),
+							Analyzer: "lockcheck",
+							Message:  "a return between " + lockCall + " and its Unlock leaks the lock on that path; use defer",
+						})
+						reported = true
+						break
+					}
+				}
+				if !reported {
+					for pos := range calls {
+						if acq.pos < pos && pos < release {
+							out = append(out, Diagnostic{
+								Pos:      p.Fset.Position(acq.pos),
+								Analyzer: "lockcheck",
+								Message:  "the critical section of " + lockCall + " calls functions that may panic with the lock held; use defer " + acq.expr + ".Unlock or move the calls out",
+							})
+							break
+						}
+					}
+				}
+			}
+		}
+		if release < 0 && !covered {
+			continue
+		}
+		// Double-lock: while held, no visible callee may acquire the
+		// same mutex field (write locks only; RLock is shared).
+		if acq.read {
+			continue
+		}
+		end := release
+		if covered {
+			end = fn.Decl.End()
+		}
+		out = append(out, doubleLocks(p, fn, acq, end, lockCall)...)
+	}
+	sortDiagnostics(out)
+	return out
+}
+
+// isArbitraryCall reports whether a call can execute arbitrary code
+// with the lock held: builtins (len, cap, append, ...) and type
+// conversions cannot, everything else can.
+func isArbitraryCall(info *types.Info, call *ast.CallExpr) bool {
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		return false
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, builtin := info.Uses[id].(*types.Builtin); builtin {
+			return false
+		}
+	}
+	return true
+}
+
+// doubleLocks reports calls inside [acq.pos, end) whose transitive
+// static/method lock set contains the held mutex.
+func doubleLocks(p *Pass, fn *Func, acq lockOp, end token.Pos, lockCall string) []Diagnostic {
+	var out []Diagnostic
+	for _, e := range fn.Out {
+		if e.Callee == nil || (e.Kind != EdgeStatic && e.Kind != EdgeMethod) {
+			continue
+		}
+		pos := e.Site.Pos()
+		if pos <= acq.pos || pos >= end {
+			continue
+		}
+		for _, held := range e.Callee.summary.TransLocks {
+			if held == acq.id {
+				out = append(out, Diagnostic{
+					Pos:      p.Fset.Position(pos),
+					Analyzer: "lockcheck",
+					Message: "call to " + e.Callee.Name() + " may re-acquire " + lockName(acq.id) +
+						" already held by " + lockCall + " (double-lock through a visible call chain)",
+				})
+				break
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,31 @@
+// Package callgraph is the edge-resolution fixture for the
+// interprocedural layer: TestCallGraphEdges asserts the exact edge
+// kinds and targets BuildProgram derives from these shapes.
+package callgraph
+
+type Doer interface{ Do() int }
+
+type A struct{ n int }
+
+func (a *A) Do() int { return a.n }
+
+type B struct{}
+
+func (B) Do() int { return 2 }
+
+func helper() int { return 1 }
+
+// Static resolves to a single static edge.
+func Static() int { return helper() }
+
+// Method resolves to a concrete method edge.
+func Method(a *A) int { return a.Do() }
+
+// Iface resolves to the bounded candidate set {A.Do, B.Do}.
+func Iface(d Doer) int { return d.Do() }
+
+// Dyn calls through a func value: one dynamic edge, no callee.
+func Dyn(f func() int) int { return f() }
+
+//picola:hot
+func Hot() int { return 0 }

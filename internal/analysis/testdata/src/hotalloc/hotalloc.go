@@ -1,0 +1,97 @@
+// Package hotalloc is the analyzer fixture: each line marked `want`
+// must be flagged, every other line must stay clean. Functions under
+// //picola:hot claim the zero-steady-state-allocation contract.
+package hotalloc
+
+import "fmt"
+
+//picola:hot
+func BadMake(n int) []int {
+	return make([]int, n) // want "make allocates"
+}
+
+//picola:hot
+func BadAppend(x int) []int {
+	var out []int
+	out = append(out, x) // want "append"
+	return out
+}
+
+//picola:hot
+func BadFmt(v int) string {
+	return fmt.Sprintf("%d", v) // want "fmt.Sprintf allocates"
+}
+
+//picola:hot
+func BadConv(b []byte) string {
+	return string(b) // want "conversion copies"
+}
+
+//picola:hot
+func BadClosure(n int) func() int {
+	return func() int { return n } // want "closure"
+}
+
+// allocHelper is cold code: allocating here is fine on its own...
+func allocHelper(n int) []int {
+	return make([]int, n)
+}
+
+//picola:hot
+func BadDeepCall(n int) []int {
+	return allocHelper(n) // want "which allocates"
+}
+
+// midHelper launders the allocation through one more frame.
+func midHelper(n int) []int { return allocHelper(n) }
+
+//picola:hot
+func BadDeeper(n int) []int {
+	return midHelper(n) // want "which allocates"
+}
+
+type scratch struct {
+	data []byte
+}
+
+// GoodGuardedGrow amortizes: the make only runs when capacity is short.
+//
+//picola:hot
+func (s *scratch) GoodGuardedGrow(n int) {
+	if cap(s.data) < n {
+		s.data = make([]byte, n)
+	}
+	s.data = s.data[:n]
+}
+
+// GoodFieldAppend appends into a reused struct-field buffer.
+//
+//picola:hot
+func (s *scratch) GoodFieldAppend(x byte) {
+	s.data = append(s.data, x)
+}
+
+// GoodColdError constructs its error inside a return: the cold path.
+//
+//picola:hot
+func GoodColdError(n int) (int, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("negative: %d", n)
+	}
+	return n * 2, nil
+}
+
+//picola:hot
+func hotKernel(dst []int, x int) []int {
+	if len(dst) > 0 {
+		dst[0] = x
+	}
+	return dst
+}
+
+// GoodHotCallee trusts its hot callee; findings stay at the callee.
+//
+//picola:hot
+func GoodHotCallee(dst []int, x int) []int {
+	return hotKernel(dst, x)
+}

@@ -1,0 +1,83 @@
+// Package leakcheck is the analyzer fixture: each line marked `want`
+// must be flagged, every other line must stay clean.
+package leakcheck
+
+import (
+	"context"
+	"sync"
+)
+
+func work() {}
+
+// BadFireAndForget spawns a goroutine nothing can stop or join.
+func BadFireAndForget() {
+	go func() { // want "may outlive"
+		work()
+	}()
+}
+
+// BadNamed launches a named function with no lifecycle argument.
+func BadNamed() {
+	go work() // want "may outlive"
+}
+
+// GoodContext is cancellable: the body watches a context.
+func GoodContext(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// GoodNamedCtx passes the context to the callee.
+func GoodNamedCtx(ctx context.Context) {
+	go workCtx(ctx)
+}
+
+func workCtx(ctx context.Context) { <-ctx.Done() }
+
+// GoodWaitGroup is joinable: the spawner can Wait for it.
+func GoodWaitGroup(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// GoodDoneChannel signals completion by closing a channel.
+func GoodDoneChannel() chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		work()
+		close(done)
+	}()
+	return done
+}
+
+// GoodResultChannel hands its result back over a channel.
+func GoodResultChannel() <-chan int {
+	out := make(chan int)
+	go func() {
+		out <- 1
+	}()
+	return out
+}
+
+// GoodWorker drains a work channel: it exits when the channel closes.
+func GoodWorker(in chan int) {
+	go func() {
+		for range in {
+			work()
+		}
+	}()
+}
+
+// GoodJustified is a deliberate process-lifetime goroutine carrying the
+// justification the analyzer demands.
+func GoodJustified() {
+	//lint:ignore leakcheck process-lifetime flusher, reaped at exit
+	go func() {
+		work()
+	}()
+}

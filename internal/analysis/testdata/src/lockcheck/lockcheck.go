@@ -1,0 +1,116 @@
+// Package lockcheck is the analyzer fixture: each line marked `want`
+// must be flagged, every other line must stay clean.
+package lockcheck
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Bad copies the receiver — and its mutex — on every call.
+func (c counter) Bad() int { // want "copies its sync.Mutex"
+	return c.n
+}
+
+// BadParam takes a lock-bearing value by copy.
+func BadParam(mu sync.Mutex) { // want "copies its sync.Mutex"
+	mu.Lock()
+	mu.Unlock()
+}
+
+// BadDeref copies a lock-bearing struct out of its pointer.
+func BadDeref(src *counter) {
+	dst := *src // want "copies its sync.Mutex"
+	_ = dst
+}
+
+// BadRange copies each element — mutex included — into the loop var.
+func BadRange(cs []counter) {
+	for _, c := range cs { // want "copies its sync.Mutex"
+		_ = c
+	}
+}
+
+// BadNoUnlock acquires and never releases.
+func (c *counter) BadNoUnlock() {
+	c.mu.Lock() // want "never released"
+	c.n++
+}
+
+// BadEarlyReturn leaks the lock on the early path.
+func (c *counter) BadEarlyReturn(skip bool) {
+	c.mu.Lock() // want "return between"
+	if skip {
+		return
+	}
+	c.n++
+	c.mu.Unlock()
+}
+
+// BadPanicPath calls into other code while holding the lock without a
+// deferred release: a panic in the callee leaves the mutex locked.
+func (c *counter) BadPanicPath() {
+	c.mu.Lock() // want "panic with the lock held"
+	c.bump()
+	c.mu.Unlock()
+}
+
+func (c *counter) bump() { c.n++ }
+
+// Inc is the well-formed locked entry point BadDouble re-enters.
+func (c *counter) Inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// BadDouble calls a method that re-acquires the mutex it holds.
+func (c *counter) BadDouble() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.Inc() // want "double-lock"
+}
+
+// GoodDefer is the preferred shape: defer covers every path.
+func (c *counter) GoodDefer(skip bool) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if skip {
+		return 0
+	}
+	c.bump()
+	return c.n
+}
+
+// GoodStraight releases on the single fall-through path with nothing
+// that can panic in between.
+func (c *counter) GoodStraight() int {
+	c.mu.Lock()
+	v := c.n
+	c.mu.Unlock()
+	return v
+}
+
+type registry struct {
+	mu sync.RWMutex
+	m  map[string]int
+}
+
+// BadReadReturn returns out of an RLock'd section.
+func (r *registry) BadReadReturn(k string) int {
+	r.mu.RLock() // want "return between"
+	if v, ok := r.m[k]; ok {
+		return v
+	}
+	r.mu.RUnlock()
+	return 0
+}
+
+// GoodRead pairs the read lock with a deferred release.
+func (r *registry) GoodRead(k string) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.m[k]
+}

@@ -28,6 +28,8 @@ var taut1Pool = sync.Pool{New: func() any { return new(taut1) }}
 
 // rec is the unate recursion over a single-word cover. It must keep the
 // exact decision structure of the generic Tautology above.
+//
+//picola:hot
 func (s *taut1) rec(d *cube.Domain, cs []uint64) bool {
 	mTautologyNodes.Inc()
 	full := d.FullMask()
@@ -81,6 +83,8 @@ func (s *taut1) rec(d *cube.Domain, cs []uint64) bool {
 
 // cofactorInto appends to the arena the cofactor of each cover word by the
 // cube word p: words intersecting p, with fields widened by ^p.
+//
+//picola:hot
 func (s *taut1) cofactorInto(d *cube.Domain, cs []uint64, p uint64) {
 	full := d.FullMask()
 	vmask := d.VarMasks()
@@ -97,6 +101,8 @@ outer:
 }
 
 // tautology1 runs the kernel over the cover's cubes.
+//
+//picola:hot
 func (f *Cover) tautology1() bool {
 	s := taut1Pool.Get().(*taut1)
 	defer taut1Pool.Put(s)
@@ -110,6 +116,8 @@ func (f *Cover) tautology1() bool {
 
 // coversCube1 runs the kernel on the cover cofactored by c, fused so the
 // intermediate cover is never materialized.
+//
+//picola:hot
 func (f *Cover) coversCube1(c cube.Cube) bool {
 	s := taut1Pool.Get().(*taut1)
 	defer taut1Pool.Put(s)

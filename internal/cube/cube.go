@@ -370,6 +370,8 @@ func (d *Domain) SetBinLit(c Cube, v int, l Lit) {
 
 // IsEmpty reports whether c denotes the empty set, i.e. whether any
 // variable's field is empty.
+//
+//picola:hot
 func (d *Domain) IsEmpty(c Cube) bool {
 	if d.w1 {
 		w := c[0]
@@ -390,6 +392,8 @@ func (d *Domain) IsEmpty(c Cube) bool {
 
 // Intersect stores a AND b into dst and reports whether the result is a
 // non-empty cube. dst may alias a or b.
+//
+//picola:hot
 func (d *Domain) Intersect(dst, a, b Cube) bool {
 	if d.w1 {
 		w := a[0] & b[0]
@@ -409,6 +413,8 @@ func (d *Domain) Intersect(dst, a, b Cube) bool {
 
 // Intersects reports whether a and b have a non-empty intersection without
 // materializing it.
+//
+//picola:hot
 func (d *Domain) Intersects(a, b Cube) bool {
 	if d.w1 {
 		w := a[0] & b[0]
@@ -436,6 +442,8 @@ func (d *Domain) Intersects(a, b Cube) bool {
 
 // Supercube stores into dst the smallest cube containing both a and b
 // (bitwise OR). dst may alias a or b.
+//
+//picola:hot
 func (d *Domain) Supercube(dst, a, b Cube) {
 	for i := range dst {
 		dst[i] = a[i] | b[i]
@@ -445,6 +453,8 @@ func (d *Domain) Supercube(dst, a, b Cube) {
 // Contains reports whether a contains b as sets, i.e. b's allowed values are
 // a subset of a's in every variable. Both cubes must be non-empty for the
 // set interpretation to be meaningful.
+//
+//picola:hot
 func (d *Domain) Contains(a, b Cube) bool {
 	for i := range a {
 		if b[i]&^a[i] != 0 {
@@ -456,6 +466,8 @@ func (d *Domain) Contains(a, b Cube) bool {
 
 // Distance returns the number of variables in which a and b share no value.
 // Distance 0 means the cubes intersect.
+//
+//picola:hot
 func (d *Domain) Distance(a, b Cube) int {
 	if d.w1 {
 		w := a[0] & b[0]
@@ -487,6 +499,8 @@ func (d *Domain) Distance(a, b Cube) int {
 // cofactor generalized to cubes): for every variable the field becomes
 // c ∪ ¬p. It reports false, leaving dst unspecified, when c and p do not
 // intersect (the cofactor is empty). dst may alias c but not p.
+//
+//picola:hot
 func (d *Domain) Cofactor(dst, c, p Cube) bool {
 	if d.w1 {
 		w := c[0] & p[0]
@@ -514,6 +528,8 @@ func (d *Domain) Cofactor(dst, c, p Cube) bool {
 // exactly 1: the single conflicting variable's field becomes a ∪ b and
 // every other field a ∩ b. At any other distance there is no consensus and
 // false is returned with dst unspecified. dst must not alias a or b.
+//
+//picola:hot
 func (d *Domain) Consensus(dst, a, b Cube) bool {
 	if d.w1 {
 		w := a[0] & b[0]

@@ -29,7 +29,10 @@ var scorerPool = sync.Pool{New: func() any { return new(scorer) }}
 // ON/OFF partition ConstraintFunction builds (member codes ON, non-member
 // codes OFF, unused codes implicit DC), fed to the count-only mirror of
 // exact.Minimize.
+//
+//picola:hot
 func (s *scorer) exactCount(e *face.Encoding, c face.Constraint) (int, error) {
+	//lint:ignore hotalloc interned domain: allocates only on the first use of a given nv
 	d := cube.BinaryInterned(e.NV)
 	n := e.N()
 	w := d.Words()

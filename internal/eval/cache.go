@@ -118,11 +118,14 @@ func (c *Cache) cubes(e *face.Encoding, con face.Constraint, heuristic bool) (in
 	mCacheMisses.Inc()
 	updateRate()
 	sh.mu.Lock()
-	if len(sh.m) < cacheShardCap {
+	inserted := len(sh.m) < cacheShardCap
+	if inserted {
 		sh.m[key] = k
-		gCacheLen.Set(gCacheLen.Value() + 1) // approximate under contention
 	}
 	sh.mu.Unlock()
+	if inserted {
+		gCacheLen.Set(gCacheLen.Value() + 1) // approximate under contention
+	}
 	return k, nil
 }
 

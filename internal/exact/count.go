@@ -53,6 +53,7 @@ func (ct *Counter) Count(f *espresso.Function, inputs int) (int, error) {
 	return n, err
 }
 
+//picola:hot
 func (ct *Counter) count(f *espresso.Function, inputs int) (int, error) {
 	d := f.D
 	if inputs < 0 || inputs > d.NumVars() || d.NumVars()-inputs > 1 {
@@ -95,6 +96,7 @@ func (ct *Counter) count(f *espresso.Function, inputs int) (int, error) {
 	if inputs <= denseMax {
 		ct.generatePrimesDense(inputs)
 	} else {
+		//lint:ignore hotalloc cold fallback: inputs > denseMax never occurs at encoder code lengths
 		ct.primes = append(ct.primes[:0], generatePrimes(inputs, ct.care)...)
 	}
 
@@ -137,6 +139,8 @@ func (ct *Counter) count(f *espresso.Function, inputs int) (int, error) {
 // positions) so no closures or fresh slices are needed. The enumeration
 // order differs from the recursion; tags are OR-accumulated, so the result
 // is identical.
+//
+//picola:hot
 func (ct *Counter) classify(f *espresso.Function, inputs, outVar, no, nm int) error {
 	ct.on = zeroU64(growU64(ct.on, nm))
 	ct.dc = zeroU64(growU64(ct.dc, nm))
@@ -167,6 +171,8 @@ func (ct *Counter) classify(f *espresso.Function, inputs, outVar, no, nm int) er
 
 // scanCover ORs each cube's output tag into tags at every input minterm of
 // the cube.
+//
+//picola:hot
 func (ct *Counter) scanCover(cv *cover.Cover, tags []uint64, inputs, outVar, no int) {
 	if cv == nil {
 		return
@@ -217,6 +223,8 @@ func (ct *Counter) scanCover(cv *cover.Cover, tags []uint64, inputs, outVar, no 
 // by a flat array indexed (dc<<inputs)|val, the per-level seen map by a
 // bitset, and all buffers reused. Iteration order, overwrite order, and the
 // resulting prime list are identical to the map version.
+//
+//picola:hot
 func (ct *Counter) generatePrimesDense(inputs int) {
 	size := 1 << uint(2*inputs)
 	if cap(ct.tags) < size {
@@ -290,6 +298,7 @@ func (ct *Counter) generatePrimesDense(inputs int) {
 	}
 }
 
+//picola:hot
 func growU64(s []uint64, n int) []uint64 {
 	if cap(s) < n {
 		return make([]uint64, n)
@@ -297,6 +306,7 @@ func growU64(s []uint64, n int) []uint64 {
 	return s[:n]
 }
 
+//picola:hot
 func zeroU64(s []uint64) []uint64 {
 	for i := range s {
 		s[i] = 0

@@ -135,31 +135,7 @@ func (l *RunLedger) Emit(e Event) {
 // percentiles, and cache counters. The ledger stays usable (a server
 // can finalize the same ledger repeatedly for a live view).
 func (l *RunLedger) Finalize() *LedgerRecord {
-	l.mu.Lock()
-	rec := &LedgerRecord{
-		Schema:      LedgerSchema,
-		Command:     l.command,
-		StartUnixMS: l.start.UnixMilli(),
-		WallNS:      int64(time.Since(l.start)),
-	}
-	childNS := map[string]int64{}
-	for stage, a := range l.stages {
-		if parent, ok := StageParents[stage]; ok {
-			childNS[parent] += a.cumNS
-		}
-	}
-	for _, stage := range sortedNames(l.stages) {
-		a := l.stages[stage]
-		self := a.cumNS - childNS[stage]
-		if self < 0 {
-			self = 0
-		}
-		rec.Stages = append(rec.Stages, StageProfile{
-			Stage: stage, Spans: a.spans, Events: a.events,
-			CumNS: a.cumNS, SelfNS: self,
-		})
-	}
-	l.mu.Unlock()
+	rec := l.snapshotStages()
 
 	s := l.metrics.Snapshot()
 	rec.Timers = s.Timers
@@ -185,6 +161,38 @@ func (l *RunLedger) Finalize() *LedgerRecord {
 			cs.HitRatePct = cs.Hits * 100 / t
 		}
 		rec.Cache = cs
+	}
+	return rec
+}
+
+// snapshotStages copies the mutable ledger state into a fresh record
+// under the lock; the deferred unlock keeps the ledger usable even if a
+// stage-name callback panics mid-snapshot.
+func (l *RunLedger) snapshotStages() *LedgerRecord {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	rec := &LedgerRecord{
+		Schema:      LedgerSchema,
+		Command:     l.command,
+		StartUnixMS: l.start.UnixMilli(),
+		WallNS:      int64(time.Since(l.start)),
+	}
+	childNS := map[string]int64{}
+	for stage, a := range l.stages {
+		if parent, ok := StageParents[stage]; ok {
+			childNS[parent] += a.cumNS
+		}
+	}
+	for _, stage := range sortedNames(l.stages) {
+		a := l.stages[stage]
+		self := a.cumNS - childNS[stage]
+		if self < 0 {
+			self = 0
+		}
+		rec.Stages = append(rec.Stages, StageProfile{
+			Stage: stage, Spans: a.spans, Events: a.events,
+			CumNS: a.cumNS, SelfNS: self,
+		})
 	}
 	return rec
 }

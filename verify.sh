@@ -12,12 +12,25 @@ go build ./...
 # fixture violation (one positive fixture per analyzer) — a lint suite
 # that stops firing is worse than none.
 go run ./cmd/picolint ./...
-for a in detrange seedrand spanend dropperr tracenil poolput metricname; do
+for a in detrange seedrand spanend dropperr tracenil poolput metricname \
+         dettaint lockcheck leakcheck hotalloc; do
   if go run ./cmd/picolint "./internal/analysis/testdata/src/$a" >/dev/null 2>&1; then
     echo "picolint no longer flags the $a fixture" >&2
     exit 1
   fi
 done
+
+# Baseline-is-current gate: regenerating the baseline must reproduce the
+# committed file byte for byte — entries only leave through a commit
+# that also fixes (or justifies) the finding, and new findings must be
+# fixed rather than silently accumulated.
+base_tmp=$(mktemp /tmp/picola-baseline.XXXXXX)
+go run ./cmd/picolint -baseline "$base_tmp" -write-baseline ./... 2>/dev/null
+cmp picolint.baseline "$base_tmp" || {
+  echo "picolint.baseline is out of date; run: go run ./cmd/picolint -write-baseline ./..." >&2
+  exit 1
+}
+rm -f "$base_tmp"
 
 go test ./...
 go test -race ./...
