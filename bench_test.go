@@ -386,6 +386,54 @@ func BenchmarkCubeKernels(b *testing.B) {
 	}
 }
 
+// BenchmarkCubeKernelsMultiWord is the 2- and 3-word analogue of
+// BenchmarkCubeKernels: an 80-bit (40-variable) and a 160-bit (80-variable)
+// binary domain exercise the fixed-width multi-word kernels against the
+// same Generic() span-loop reference.
+func BenchmarkCubeKernelsMultiWord(b *testing.B) {
+	for _, tier := range []struct {
+		name string
+		nv   int
+	}{{"2word", 40}, {"3word", 80}} {
+		d := cube.Binary(tier.nv)
+		if d.KernelWords() != int(tier.name[0]-'0') {
+			b.Fatalf("Binary(%d) selected tier %d", tier.nv, d.KernelWords())
+		}
+		pairs := benchCubePairs(d, 256, 13)
+		dst := d.NewCube()
+		for _, path := range []struct {
+			name string
+			d    *cube.Domain
+		}{{"kernel", d}, {"generic", d.Generic()}} {
+			dd := path.d
+			b.Run(tier.name+"/intersect/"+path.name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					p := pairs[i%len(pairs)]
+					benchSinkBool = dd.Intersect(dst, p[0], p[1])
+				}
+			})
+			b.Run(tier.name+"/distance/"+path.name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					p := pairs[i%len(pairs)]
+					benchSinkInt = dd.Distance(p[0], p[1])
+				}
+			})
+			b.Run(tier.name+"/cofactor/"+path.name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					p := pairs[i%len(pairs)]
+					benchSinkBool = dd.Cofactor(dst, p[0], p[1])
+				}
+			})
+			b.Run(tier.name+"/consensus/"+path.name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					p := pairs[i%len(pairs)]
+					benchSinkBool = dd.Consensus(dst, p[0], p[1])
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkMinimizeSmall measures whole minimizer runs on a small random
 // fr-form function — the constraint-scoring shape — under the single-word
 // kernels and under the generic reference domain.

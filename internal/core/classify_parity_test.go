@@ -1,0 +1,301 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"picola/internal/face"
+	"picola/internal/obs"
+)
+
+// randomParityProblem builds a deterministic pseudo-random problem for the
+// classify parity suite: enough overlapping mid-size constraints that runs
+// hit satisfied rows, infeasible rows and guide substitution.
+func randomParityProblem(r *rand.Rand) (*face.Problem, int) {
+	n := 5 + r.Intn(11) // 5..15 symbols
+	p := &face.Problem{Name: "parity", Names: make([]string, n)}
+	for i := range p.Names {
+		p.Names[i] = fmt.Sprintf("s%d", i)
+	}
+	k := 3 + r.Intn(5)
+	for len(p.Constraints) < k {
+		c := face.NewConstraint(n)
+		for s := 0; s < n; s++ {
+			if r.Intn(3) == 0 {
+				c.Add(s)
+			}
+		}
+		if cnt := c.Count(); cnt >= 2 && cnt < n {
+			p.Constraints = append(p.Constraints, c)
+		}
+	}
+	// Occasionally squeeze the code space so infeasibility actually occurs.
+	nv := p.MinLength() + r.Intn(2)
+	return p, nv
+}
+
+// driveClassify replays encodeOnce's column loop with the chosen classify
+// implementation, recording every per-column infeasible set and every trace
+// event. The two paths share solve/apply/addGuide, so as long as the
+// classifications agree the states evolve in lockstep and the whole runs
+// must be byte-identical.
+func driveClassify(p *face.Problem, nv int, generic bool) (*encoder, [][]int, *obs.Recorder) {
+	rec := &obs.Recorder{}
+	o := Options{}.withDefaults()
+	n := p.N()
+	e := &encoder{p: p, opts: o, n: n, nv: nv, enc: face.NewEncoding(n, nv), tr: rec}
+	for i, c := range p.Constraints {
+		e.rows = append(e.rows, newTracked(c, Original, 0, -1, float64(p.Weight(i))))
+	}
+	e.nOri = len(e.rows)
+	var perCol [][]int
+	for j := 0; j < nv; j++ {
+		// Mark satisfied rows exactly as updateConstraints does, but with
+		// the intruder count of the path under test.
+		for ri, t := range e.rows {
+			un := t.unsat.Count()
+			if generic {
+				un = t.unsatisfiedCountRef()
+			}
+			if !t.satisfied && !t.infeasible && un == 0 {
+				t.satisfied = true
+				a := e.attrs()
+				a["variant"] = float64(e.variant)
+				a["row"] = float64(ri)
+				a["col"] = float64(j)
+				obs.Emit(e.tr, obs.Event{Kind: obs.KindEvent, Stage: "classify", Name: "satisfied", Attrs: a})
+			}
+		}
+		var inf []int
+		if generic {
+			inf = e.classifyGeneric(j)
+		} else {
+			inf = e.classify(j)
+		}
+		perCol = append(perCol, append([]int(nil), inf...))
+		for _, idx := range inf {
+			e.addGuide(idx, j)
+		}
+		col := e.solve(j)
+		e.apply(col, j)
+	}
+	return e, perCol, rec
+}
+
+// TestClassifyParity is the tentpole's oracle gate: over randomized runs,
+// the set-algebra classify (memoized compatibleFast, popcount intruder
+// counts, pooled scratch and trace attrs) and the retained scalar
+// classifyGeneric produce identical infeasible sets, identical trace
+// events, and identical final encoder states.
+func TestClassifyParity(t *testing.T) {
+	r := rand.New(rand.NewSource(83))
+	for trial := 0; trial < 60; trial++ {
+		p, nv := randomParityProblem(r)
+		ef, fastInf, fastRec := driveClassify(p, nv, false)
+		eg, genInf, genRec := driveClassify(p, nv, true)
+		if !reflect.DeepEqual(fastInf, genInf) {
+			t.Fatalf("trial %d: infeasible sets diverge\nfast:    %v\ngeneric: %v\nproblem:\n%s",
+				trial, fastInf, genInf, p)
+		}
+		if !reflect.DeepEqual(fastRec.Events, genRec.Events) {
+			t.Fatalf("trial %d: trace events diverge\nfast:    %+v\ngeneric: %+v",
+				trial, fastRec.Events, genRec.Events)
+		}
+		if len(ef.rows) != len(eg.rows) {
+			t.Fatalf("trial %d: row counts diverge: %d vs %d", trial, len(ef.rows), len(eg.rows))
+		}
+		for i := range ef.rows {
+			a, b := ef.rows[i], eg.rows[i]
+			if a.satisfied != b.satisfied || a.infeasible != b.infeasible {
+				t.Fatalf("trial %d row %d: flags diverge (sat %v/%v, inf %v/%v)",
+					trial, i, a.satisfied, b.satisfied, a.infeasible, b.infeasible)
+			}
+			if !reflect.DeepEqual(a.mark, b.mark) || !reflect.DeepEqual(a.agreeCols, b.agreeCols) {
+				t.Fatalf("trial %d row %d: marks/agree columns diverge", trial, i)
+			}
+			// The maintained unsat bitset must track the scalar mark scan.
+			if a.unsat.Count() != a.unsatisfiedCountRef() {
+				t.Fatalf("trial %d row %d: unsat bitset %d != mark scan %d",
+					trial, i, a.unsat.Count(), a.unsatisfiedCountRef())
+			}
+		}
+		for s := 0; s < p.N(); s++ {
+			if ef.enc.Codes[s] != eg.enc.Codes[s] {
+				t.Fatalf("trial %d: encodings diverge at symbol %d", trial, s)
+			}
+		}
+	}
+}
+
+// randomTracked builds a row with a random non-trivial member set and a
+// random agreeing-column count (compatibility depends only on the length).
+func randomTracked(r *rand.Rand, n, nv int) *tracked {
+	c := face.NewConstraint(n)
+	for c.Count() == 0 {
+		for s := 0; s < n; s++ {
+			if r.Intn(3) == 0 {
+				c.Add(s)
+			}
+		}
+	}
+	t := newTracked(c, Original, 0, -1, 1)
+	t.agreeCols = make([]int, r.Intn(nv+1))
+	return t
+}
+
+// TestCompatibleParity fuzzes the closed-form compatibleSet and the
+// memoized compatibleFast against the scalar triple-loop reference over
+// random pairs, including agree-length mutations that must invalidate the
+// memo entry (and rewinds, which must revalidate it).
+func TestCompatibleParity(t *testing.T) {
+	r := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 30000; trial++ {
+		n := 3 + r.Intn(14)
+		nv := 1 + r.Intn(6)
+		e := &encoder{n: n, nv: nv}
+		a := randomTracked(r, n, nv)
+		b := randomTracked(r, n, nv)
+		son := a.members.IntersectCount(b.members)
+		want := e.compatible(a, b)
+		if got := e.compatibleSet(a, b, son); got != want {
+			t.Fatalf("trial %d: compatibleSet=%v scalar=%v (n=%d nv=%d cA=%d cB=%d son=%d lenA=%d lenB=%d)",
+				trial, got, want, n, nv, a.cnt, b.cnt, son, len(a.agreeCols), len(b.agreeCols))
+		}
+		e.rows = []*tracked{a, b}
+		e.growCmp()
+		for round := 0; round < 4; round++ {
+			want = e.compatible(a, b)
+			if got := e.compatibleFast(0, 1, a, b); got != want {
+				t.Fatalf("trial %d round %d: compatibleFast=%v scalar=%v (lenA=%d lenB=%d)",
+					trial, round, got, want, len(a.agreeCols), len(b.agreeCols))
+			}
+			// Memo-hit path must agree with itself.
+			if got := e.compatibleFast(0, 1, a, b); got != want {
+				t.Fatalf("trial %d round %d: memo hit diverged", trial, round)
+			}
+			// Mutate an agree length: grow, or rewind as reclassifyFromScratch does.
+			if r.Intn(2) == 0 {
+				a.agreeCols = make([]int, r.Intn(nv+1))
+			} else {
+				b.agreeCols = make([]int, r.Intn(nv+1))
+			}
+		}
+	}
+}
+
+// TestAllocsClassify is the tentpole's steady-state allocation gate: on a
+// warmed encoder (memo populated, scratch at its high-water mark, tracing
+// off) one full classify column scan performs zero heap allocations.
+func TestAllocsClassify(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; the alloc gate runs in the plain build")
+	}
+	r := rand.New(rand.NewSource(7))
+	p, nv := randomParityProblem(r)
+	e, _, _ := driveClassify(p, nv, false)
+	e.tr = nil
+	j := nv - 1
+	e.classify(j) // warm: memo entries, scratch, infeasible flags settled
+	allocs := testing.AllocsPerRun(200, func() {
+		e.classify(j)
+	})
+	if allocs != 0 {
+		t.Fatalf("warmed classify allocated %.1f objects per column scan, want 0", allocs)
+	}
+}
+
+// benchClassifyFixture drives a dense random problem to a mid-run state —
+// a mix of satisfied rows and live candidates — so the benchmarked column
+// scan exercises the pairwise compatibility loop, not an empty sweep.
+func benchClassifyFixture() (*encoder, int) {
+	r := rand.New(rand.NewSource(5))
+	n := 24
+	p := &face.Problem{Name: "bench", Names: make([]string, n)}
+	for len(p.Constraints) < 18 {
+		c := face.NewConstraint(n)
+		for s := 0; s < n; s++ {
+			if r.Intn(5) == 0 {
+				c.Add(s)
+			}
+		}
+		if cnt := c.Count(); cnt >= 2 && cnt <= 6 {
+			p.Constraints = append(p.Constraints, c)
+		}
+	}
+	nv := p.MinLength() + 2
+	o := Options{}.withDefaults()
+	e := &encoder{p: p, opts: o, n: n, nv: nv, enc: face.NewEncoding(n, nv)}
+	for i, c := range p.Constraints {
+		e.rows = append(e.rows, newTracked(c, Original, 0, -1, float64(p.Weight(i))))
+	}
+	e.nOri = len(e.rows)
+	j := nv - 2
+	for col := 0; col < j; col++ {
+		e.updateConstraints(col)
+		e.apply(e.solve(col), col)
+	}
+	for _, t := range e.rows {
+		if !t.satisfied && !t.infeasible && t.unsat.Count() == 0 {
+			t.satisfied = true
+		}
+	}
+	return e, j
+}
+
+// BenchmarkClassify compares one warmed classify column scan against the
+// scalar reference on the same mid-run encoder state.
+func BenchmarkClassify(b *testing.B) {
+	e, j := benchClassifyFixture()
+	b.Run("set", func(b *testing.B) {
+		e.classify(j)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			benchClassifySink = e.classify(j)
+		}
+	})
+	b.Run("generic", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			benchClassifySink = e.classifyGeneric(j)
+		}
+	})
+}
+
+var benchClassifySink []int
+var benchCompatSink bool
+
+// BenchmarkCompatible compares the scalar triple-loop check, the
+// closed-form set-algebra check and the memoized fast path on one
+// ambiguous (partially overlapping) pair.
+func BenchmarkCompatible(b *testing.B) {
+	n, nv := 12, 5
+	e := &encoder{n: n, nv: nv}
+	a := newTracked(face.FromMembers(n, 0, 1, 2, 3, 4), Original, 0, -1, 1)
+	c := newTracked(face.FromMembers(n, 3, 4, 5, 6, 7, 8), Original, 0, -1, 1)
+	a.agreeCols = make([]int, 1)
+	c.agreeCols = make([]int, 1)
+	e.rows = []*tracked{a, c}
+	e.growCmp()
+	son := a.members.IntersectCount(c.members)
+	b.Run("scalar", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			benchCompatSink = e.compatible(a, c)
+		}
+	})
+	b.Run("set", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			benchCompatSink = e.compatibleSet(a, c, son)
+		}
+	})
+	b.Run("memo", func(b *testing.B) {
+		e.compatibleFast(0, 1, a, c)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			benchCompatSink = e.compatibleFast(0, 1, a, c)
+		}
+	})
+}

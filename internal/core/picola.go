@@ -35,17 +35,23 @@ var (
 	mColumns     = obs.Default.Counter("core.columns")
 	mColumnScans = obs.Default.Counter("core.dichotomy_scans")
 	mInfeasible  = obs.Default.Counter("core.classify.infeasible")
-	mGuides      = obs.Default.Counter("core.guides")
-	mEstimates   = obs.Default.Counter("core.estimates")
+	// Compatibility-memo effectiveness: pairwise nv-compatibility lookups
+	// answered by a valid memo entry vs recomputed. The rate gauge is
+	// refreshed once per classify call.
+	mCmpMemoHits   = obs.Default.Counter("core.classify.memo_hits")
+	mCmpMemoMisses = obs.Default.Counter("core.classify.memo_misses")
+	gCmpMemoRate   = obs.Default.Gauge("core.classify.memo_hit_rate_pct")
+	mGuides        = obs.Default.Counter("core.guides")
+	mEstimates     = obs.Default.Counter("core.estimates")
 	// mPolishCarried counts exact-polish constraint evaluations answered by
 	// the dirty-set carry instead of a minimizer request. The carry decision
 	// is a pure function of the current codes, so the count is deterministic
 	// and identical at every cache/worker configuration.
 	mPolishCarried = obs.Default.Counter("core.polish.carried")
-	tPortfolio   = obs.Default.Timer("core.stage.portfolio")
-	tPolish      = obs.Default.Timer("core.stage.polish")
-	tExactPolish = obs.Default.Timer("core.stage.exact_polish")
-	tFinalize    = obs.Default.Timer("core.stage.finalize")
+	tPortfolio     = obs.Default.Timer("core.stage.portfolio")
+	tPolish        = obs.Default.Timer("core.stage.polish")
+	tExactPolish   = obs.Default.Timer("core.stage.exact_polish")
+	tFinalize      = obs.Default.Timer("core.stage.finalize")
 	// hEncode records whole-Encode latency: the distribution behind the
 	// per-row percentile columns of the run ledger.
 	hEncode = obs.Default.LatencyHistogram("core.encode_ns")
@@ -141,12 +147,26 @@ type tracked struct {
 	// the same bit, and that bit. dim(super) = nv − len(agreeCols).
 	agreeCols []int
 	agreeVals []int
+	// unsat is the bitset view of the unsatisfied outsiders (mark == 0),
+	// maintained alongside mark so intruder counts are a word-parallel
+	// popcount instead of an O(n) scan.
+	unsat face.Constraint
+	// cnt/dLo: member count and its minimum cube dimension — constants of
+	// the fixed member set, precomputed at row creation.
+	cnt int
+	dLo int
 
 	satisfied  bool
 	infeasible bool
 }
 
 func (t *tracked) unsatisfiedCount() int {
+	return t.unsat.Count()
+}
+
+// unsatisfiedCountRef is the scalar mark-scan reference of
+// unsatisfiedCount, kept for the classify parity suite.
+func (t *tracked) unsatisfiedCountRef() int {
 	n := 0
 	for s := 0; s < t.outsiders.N(); s++ {
 		if t.outsiders.Has(s) && t.mark[s] == 0 {
@@ -159,13 +179,7 @@ func (t *tracked) unsatisfiedCount() int {
 // intruders returns the outsiders whose dichotomies are still unsatisfied
 // — the constraint's current intruder set I_k.
 func (t *tracked) intruders() face.Constraint {
-	out := face.NewConstraint(t.outsiders.N())
-	for s := 0; s < t.outsiders.N(); s++ {
-		if t.outsiders.Has(s) && t.mark[s] == 0 {
-			out.Add(s)
-		}
-	}
-	return out
+	return t.unsat.Clone()
 }
 
 // Result reports the outcome of an encoding run.
@@ -197,6 +211,18 @@ type encoder struct {
 	// Per-solve caches: the marks only change in apply, so each row's
 	// unsatisfied-outsider list is invariant while one column is built.
 	unsat [][]int
+
+	// Pairwise nv-compatibility memo, flattened [satisfied][candidate]
+	// with row stride cmpStride (see compatibleFast); grown on demand
+	// when guides append rows.
+	cmp       []cmpEntry
+	cmpStride int
+	// infeasScratch backs classify's result between calls so a warmed
+	// column scan performs no heap allocation (the TestAllocs gate).
+	infeasScratch []int
+	// traceAttrs is the reusable event-attrs map; Emit implementations
+	// must not retain it (the obs.Tracer contract).
+	traceAttrs map[string]float64
 
 	tr      obs.Tracer // nil when untraced
 	variant int        // portfolio variant index, for trace records
@@ -1031,6 +1057,7 @@ func (e *encoder) reclassifyFromScratch() {
 		t.agreeVals = t.agreeVals[:0]
 		t.satisfied = false
 		t.infeasible = false
+		t.unsat = t.outsiders.Clone()
 		for s := 0; s < e.n; s++ {
 			if t.outsiders.Has(s) {
 				t.mark[s] = 0
@@ -1055,6 +1082,9 @@ func newTracked(members face.Constraint, kind Kind, depth, parent int, weight fl
 		outsiders: members.Complement(),
 		mark:      make([]int, n),
 	}
+	t.cnt = t.members.Count()
+	t.dLo = minDim(t.cnt)
+	t.unsat = t.outsiders.Clone()
 	for s := 0; s < n; s++ {
 		if !t.outsiders.Has(s) {
 			t.mark[s] = -1
@@ -1076,15 +1106,14 @@ func minDim(m int) int {
 // rows, Classify the infeasible ones, and add their guide-constraints.
 func (e *encoder) updateConstraints(j int) {
 	for ri, t := range e.rows {
-		if !t.satisfied && !t.infeasible && t.unsatisfiedCount() == 0 {
+		if !t.satisfied && !t.infeasible && t.unsat.Count() == 0 {
 			t.satisfied = true
 			if e.tr != nil {
-				obs.Emit(e.tr, obs.Event{Kind: obs.KindEvent, Stage: "classify", Name: "satisfied",
-					Attrs: map[string]float64{
-						"variant": float64(e.variant),
-						"row":     float64(ri),
-						"col":     float64(j),
-					}})
+				a := e.attrs()
+				a["variant"] = float64(e.variant)
+				a["row"] = float64(ri)
+				a["col"] = float64(j)
+				obs.Emit(e.tr, obs.Event{Kind: obs.KindEvent, Stage: "classify", Name: "satisfied", Attrs: a})
 			}
 		}
 	}
@@ -1102,14 +1131,85 @@ func (e *encoder) updateConstraints(j int) {
 // can no longer all be excluded: no columns remain, excluding would shrink
 // its cube below the capacity needed for its members, or it is not
 // nv-compatible with an already-satisfied constraint (paper §3.3).
+//
+// This is the set-algebra fast path: intruder counts are word-parallel
+// popcounts of the unsatisfied-outsider bitset, the per-row member count
+// and minimum dimension are creation-time constants, and each pairwise
+// compatibility check goes through the (satisfied, candidate) memo of
+// compatibleFast. classifyGeneric below is the retained scalar reference
+// the randomized parity suite replays against; on a warmed encoder one
+// classify scan performs no heap allocation (the TestAllocs gate).
+//
+//picola:hot
 func (e *encoder) classify(j int) []int {
+	if e.cmpStride < len(e.rows) {
+		//lint:ignore hotalloc memo grows only when guides append rows (a few times per run)
+		e.growCmp()
+	}
+	out := e.infeasScratch[:0]
+	remaining := e.nv - j
+	for i, t := range e.rows {
+		if t.satisfied || t.infeasible {
+			continue
+		}
+		intr := t.unsat.Count()
+		if intr == 0 {
+			continue
+		}
+		bad := false
+		switch {
+		case remaining == 0:
+			bad = true
+		case len(t.agreeCols) >= e.nv-t.dLo:
+			// Any further agreeing column (needed to exclude an intruder)
+			// would make the supercube too small for the members.
+			bad = true
+		default:
+			for si, s := range e.rows {
+				if !s.satisfied || s == t {
+					continue
+				}
+				if !e.compatibleFast(si, i, s, t) {
+					bad = true
+					break
+				}
+			}
+		}
+		if bad {
+			t.infeasible = true
+			//lint:ignore hotalloc pooled scratch: grows only to the run's infeasible high-water mark
+			out = append(out, i)
+			mInfeasible.Inc()
+			if e.tr != nil {
+				//lint:ignore hotalloc reusable attrs map: allocated once per encoder, and only when traced
+				a := e.attrs()
+				a["variant"] = float64(e.variant)
+				a["row"] = float64(i)
+				a["col"] = float64(j)
+				a["intruders"] = float64(intr)
+				a["depth"] = float64(t.depth)
+				obs.Emit(e.tr, obs.Event{Kind: obs.KindEvent, Stage: "classify", Name: "infeasible", Attrs: a})
+			}
+		}
+	}
+	e.infeasScratch = out
+	if h, m := mCmpMemoHits.Value(), mCmpMemoMisses.Value(); h+m > 0 {
+		gCmpMemoRate.Set(h * 100 / (h + m))
+	}
+	return out
+}
+
+// classifyGeneric is the scalar reference implementation of classify —
+// the pre-memo pairwise code, byte-for-byte semantics — kept live as the
+// oracle the randomized parity tests replay both paths against.
+func (e *encoder) classifyGeneric(j int) []int {
 	var out []int
 	remaining := e.nv - j
 	for i, t := range e.rows {
 		if t.satisfied || t.infeasible {
 			continue
 		}
-		intr := t.unsatisfiedCount()
+		intr := t.unsatisfiedCountRef()
 		if intr == 0 {
 			continue
 		}
@@ -1118,8 +1218,6 @@ func (e *encoder) classify(j int) []int {
 		case remaining == 0:
 			bad = true
 		case len(t.agreeCols) >= e.nv-minDim(t.members.Count()):
-			// Any further agreeing column (needed to exclude an intruder)
-			// would make the supercube too small for the members.
 			bad = true
 		default:
 			for _, s := range e.rows {
@@ -1149,6 +1247,124 @@ func (e *encoder) classify(j int) []int {
 		}
 	}
 	return out
+}
+
+// attrs returns the encoder's reusable event-attrs map, cleared. One map
+// serves every emission because Emit must not retain it (the obs.Tracer
+// contract).
+func (e *encoder) attrs() map[string]float64 {
+	if e.traceAttrs == nil {
+		e.traceAttrs = make(map[string]float64, 8)
+	}
+	clear(e.traceAttrs)
+	return e.traceAttrs
+}
+
+// cmpEntry memoizes one (satisfied-row, candidate-row) compatibility
+// verdict. son — the member-set intersection count — is a constant of the
+// pair, computed once; the verdict additionally depends only on the two
+// rows' agreeing-column counts, so it stays valid exactly while both
+// recorded lengths match (including across reclassifyFromScratch, which
+// rewinds them: equal inputs give equal verdicts regardless of history).
+type cmpEntry struct {
+	son        int32 // members intersection count; -1 until computed
+	aLen, bLen int32 // agreeCols lengths at verdict time; -1 = no verdict
+	ok         bool
+}
+
+// growCmp (re)sizes the pairwise memo for the current row count. Existing
+// entries are dropped — they would revalidate anyway, and guide additions
+// are rare (a few per run).
+func (e *encoder) growCmp() {
+	stride := len(e.rows) + 4 // headroom so a burst of guides rebuilds once
+	e.cmp = make([]cmpEntry, stride*stride)
+	for i := range e.cmp {
+		e.cmp[i] = cmpEntry{son: -1, aLen: -1, bLen: -1}
+	}
+	e.cmpStride = stride
+}
+
+// compatibleFast is the memoized set-algebra nv-compatibility check for
+// rows a (index ai, satisfied) and b (index bi, the candidate). The
+// verdict is a pure function of (countA, countB, son, len(agreeColsA),
+// len(agreeColsB), nv, n); all but the agree lengths are fixed at row
+// creation, so a memo entry self-validates by length comparison alone.
+//
+//picola:hot
+func (e *encoder) compatibleFast(ai, bi int, a, b *tracked) bool {
+	ent := &e.cmp[ai*e.cmpStride+bi]
+	if ent.son < 0 {
+		ent.son = int32(a.members.IntersectCount(b.members))
+	}
+	if ent.aLen == int32(len(a.agreeCols)) && ent.bLen == int32(len(b.agreeCols)) {
+		mCmpMemoHits.Inc()
+		return ent.ok
+	}
+	mCmpMemoMisses.Inc()
+	ent.ok = e.compatibleSet(a, b, int(ent.son))
+	ent.aLen = int32(len(a.agreeCols))
+	ent.bLen = int32(len(b.agreeCols))
+	return ent.ok
+}
+
+// compatibleSet decides nv-compatibility (§3.3.1) between a satisfied
+// constraint a and a candidate b in closed form, given their member
+// intersection count son. The scalar reference (compatible) scans every
+// admissible (dimA, dimB, dimAB) triple; here the disjoint, identical and
+// nested cases collapse to constant-time checks, and the genuinely
+// ambiguous case (0 < son < min(cA, cB)) reduces to one O(nv) scan over
+// dimAB: for a fixed dimAB every remaining condition is a lower bound on
+// dimA or dimB (conditions I and II are monotone in the slack) or an
+// interval constraint on their sum, so feasibility per dimAB is a
+// nonempty-box test.
+//
+//picola:hot
+func (e *encoder) compatibleSet(a, b *tracked, son int) bool {
+	nv := e.nv
+	cA, cB := a.cnt, b.cnt
+	dALo, dAHi := a.dLo, nv-len(a.agreeCols)
+	dBLo, dBHi := b.dLo, nv-len(b.agreeCols)
+	if dALo > dAHi || dBLo > dBHi {
+		return false
+	}
+	if son == 0 {
+		// Disjoint constraints need disjoint cubes: total capacity and
+		// total slack must fit (a necessary condition; paper §3.3.1.b).
+		total := 1 << uint(nv)
+		if 1<<uint(dALo)+1<<uint(dBLo) > total {
+			return false
+		}
+		slack := total - e.n
+		return (1<<uint(dALo)-cA)+(1<<uint(dBLo)-cB) <= slack
+	}
+	switch {
+	case son == cA && son == cB:
+		// Identical member sets: conditions I force dimA = dimB = dimAB;
+		// every other condition is then automatic. dALo == dBLo here.
+		return dALo <= dBHi
+	case son == cA:
+		// A nested in B: dimAB = dimA < dimB, and condition II reduces to
+		// slack(A) ≤ slack(B). Smallest dimA and largest dimB dominate.
+		return dALo < dBHi && (1<<uint(dALo))-cA <= (1<<uint(dBHi))-cB
+	case son == cB:
+		return dBLo < dAHi && (1<<uint(dBLo))-cB <= (1<<uint(dAHi))-cA
+	}
+	union := cA + cB - son
+	dimU := minDim(union)
+	for dS := minDim(son); dS < dAHi && dS < dBHi; dS++ {
+		slack := (1 << uint(dS)) - son
+		dAmin := max(dALo, dS+1, minDim(cA+slack))
+		dBmin := max(dBLo, dS+1, minDim(cB+slack))
+		if dAmin > dAHi || dBmin > dBHi {
+			continue
+		}
+		lo := max(dAmin+dBmin, dS+dimU)
+		hi := min(dAHi+dBHi, dS+nv)
+		if lo <= hi {
+			return true
+		}
+	}
+	return false
 }
 
 // compatible implements the nv-compatibility check of §3.3.1 between a
@@ -1253,6 +1469,7 @@ func (e *encoder) addGuide(idx, j int) {
 	g := newTracked(intr, GuideKind, t.depth+1, idx, t.weight*e.opts.GuideWeight)
 	// A guide's relevant dichotomies oppose only the original members.
 	g.outsiders = t.members.Clone()
+	g.unsat = g.outsiders.Clone()
 	for s := 0; s < e.n; s++ {
 		if g.outsiders.Has(s) {
 			g.mark[s] = 0
@@ -1279,6 +1496,7 @@ func (e *encoder) creditColumn(t *tracked, col int) {
 	for s := 0; s < e.n; s++ {
 		if t.outsiders.Has(s) && t.mark[s] == 0 && e.enc.Bit(s, col) != bit {
 			t.mark[s] = col + 1
+			t.unsat.Remove(s)
 		}
 	}
 }

@@ -1,0 +1,11 @@
+//go:build race
+
+package core
+
+// raceEnabled reports that the race detector is instrumenting this build.
+// The allocation-count gates skip under it: the detector itself allocates
+// per tracked access, so testing.AllocsPerRun would measure the
+// instrumentation, not the classify scan. The parity suites are the -race
+// half of the gate; the alloc gate runs in the plain build (verify.sh and
+// CI run both).
+const raceEnabled = true

@@ -1,0 +1,69 @@
+package cover
+
+import (
+	"math/rand"
+	"testing"
+
+	"picola/internal/cube"
+)
+
+func cubeWordsEqual(a, b cube.Cube) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestComplementOrderInsensitive: Complement's output is a pure function
+// of the input cube multiset — shuffling the cube order changes nothing,
+// down to the byte-identical cube list. This is the soundness basis of
+// eval's memoized don't-care covers: whatever symbol order produced the
+// used-code minterm cover, the derived complement is the same object the
+// cold path would have built. (The proof sketch: activeVar counts values
+// over the multiset, SCC stable-sorts into a determined order, and the
+// recursion merges determined sub-results — see complementRec.)
+func TestComplementOrderInsensitive(t *testing.T) {
+	r := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 200; trial++ {
+		nv := 2 + r.Intn(5)
+		d := cube.Binary(nv)
+		// Minterm covers mirror eval's used-code construction; mixed random
+		// cubes widen the property beyond that use.
+		f := New(d)
+		if trial%2 == 0 {
+			codes := r.Perm(1 << uint(nv))[:1+r.Intn(1<<uint(nv))]
+			for _, code := range codes {
+				c := d.NewCube()
+				for v := 0; v < nv; v++ {
+					d.Set(c, v, code>>uint(v)&1)
+				}
+				f.Add(c)
+			}
+		} else {
+			f = randomCover(d, r, 1+r.Intn(8))
+		}
+		base := f.Complement()
+		for shuffle := 0; shuffle < 4; shuffle++ {
+			g := New(d)
+			g.Cubes = append(g.Cubes, f.Cubes...)
+			r.Shuffle(len(g.Cubes), func(i, j int) {
+				g.Cubes[i], g.Cubes[j] = g.Cubes[j], g.Cubes[i]
+			})
+			got := g.Complement()
+			if got.Len() != base.Len() {
+				t.Fatalf("trial %d shuffle %d: %d cubes vs %d", trial, shuffle, got.Len(), base.Len())
+			}
+			for i := range got.Cubes {
+				if !cubeWordsEqual(got.Cubes[i], base.Cubes[i]) {
+					t.Fatalf("trial %d shuffle %d: cube %d differs:\n%s\nvs\n%s",
+						trial, shuffle, i, d.String(got.Cubes[i]), d.String(base.Cubes[i]))
+				}
+			}
+		}
+	}
+}

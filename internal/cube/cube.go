@@ -75,6 +75,19 @@ type Domain struct {
 	w1    bool
 	vmask []uint64 // per-variable field mask within word 0
 	full  uint64   // union of all field masks (the universe word)
+
+	// Two- and three-word kernel state (kernels23.go): the same
+	// construction-time selection for domains of 65..128 and 129..192 bits.
+	// Each variable's field mask is precomputed over the fixed word count —
+	// a field straddling a word boundary simply has non-zero mask parts in
+	// both words — so every operation is a fully unrolled word expression
+	// with no span loop.
+	w2     bool
+	vmask2 [][2]uint64 // per-variable field masks over words 0..1
+	full2  [2]uint64   // universe words
+	w3     bool
+	vmask3 [][3]uint64 // per-variable field masks over words 0..2
+	full3  [3]uint64   // universe words
 }
 
 // New creates a domain with the given number of values per variable.
@@ -104,12 +117,31 @@ func New(sizes ...int) *Domain {
 			d.bitVar[d.offs[v]+val] = v
 		}
 	}
-	if d.nbits <= 64 {
+	switch {
+	case d.nbits <= 64:
 		d.w1 = true
 		d.vmask = make([]uint64, len(sizes))
 		for v := range sizes {
 			d.vmask[v] = d.spans[v][0].mask
 			d.full |= d.vmask[v]
+		}
+	case d.nwords == 2:
+		d.w2 = true
+		d.vmask2 = make([][2]uint64, len(sizes))
+		for v := range sizes {
+			for _, s := range d.spans[v] {
+				d.vmask2[v][s.word] |= s.mask
+				d.full2[s.word] |= s.mask
+			}
+		}
+	case d.nwords == 3:
+		d.w3 = true
+		d.vmask3 = make([][3]uint64, len(sizes))
+		for v := range sizes {
+			for _, s := range d.spans[v] {
+				d.vmask3[v][s.word] |= s.mask
+				d.full3[s.word] |= s.mask
+			}
 		}
 	}
 	return d
@@ -118,6 +150,21 @@ func New(sizes ...int) *Domain {
 // SingleWord reports whether the domain's cubes fit in one uint64 word and
 // the word-level kernels are selected.
 func (d *Domain) SingleWord() bool { return d.w1 }
+
+// KernelWords reports which word-level kernel tier the domain selected:
+// 1, 2 or 3 for the fixed-width fast paths, 0 when every operation takes
+// the generic span-loop path (domains beyond 192 bits, or Generic views).
+func (d *Domain) KernelWords() int {
+	switch {
+	case d.w1:
+		return 1
+	case d.w2:
+		return 2
+	case d.w3:
+		return 3
+	}
+	return 0
+}
 
 // FullMask returns the universe word — the union of every variable's field
 // mask in word 0. Only meaningful when SingleWord reports true.
@@ -128,15 +175,21 @@ func (d *Domain) FullMask() uint64 { return d.full }
 // modified.
 func (d *Domain) VarMasks() []uint64 { return d.vmask }
 
-// Generic returns a copy of the domain with the single-word kernels
-// disabled, so every operation takes the span-loop reference path. It exists
-// for tests and benchmarks: the generic path is the oracle the kernels are
-// checked against.
+// Generic returns a copy of the domain with the word-level kernels (all
+// tiers) disabled, so every operation takes the span-loop reference path.
+// It exists for tests and benchmarks: the generic path is the oracle the
+// kernels are checked against.
 func (d *Domain) Generic() *Domain {
 	g := *d
 	g.w1 = false
 	g.vmask = nil
 	g.full = 0
+	g.w2 = false
+	g.vmask2 = nil
+	g.full2 = [2]uint64{}
+	g.w3 = false
+	g.vmask3 = nil
+	g.full3 = [3]uint64{}
 	return &g
 }
 
@@ -262,6 +315,19 @@ func (d *Domain) SetAll(c Cube, v int) {
 		c[0] |= d.vmask[v]
 		return
 	}
+	if d.w2 {
+		m := &d.vmask2[v]
+		c[0] |= m[0]
+		c[1] |= m[1]
+		return
+	}
+	if d.w3 {
+		m := &d.vmask3[v]
+		c[0] |= m[0]
+		c[1] |= m[1]
+		c[2] |= m[2]
+		return
+	}
 	for _, s := range d.spans[v] {
 		c[s.word] |= s.mask
 	}
@@ -271,6 +337,19 @@ func (d *Domain) SetAll(c Cube, v int) {
 func (d *Domain) ClearAll(c Cube, v int) {
 	if d.w1 {
 		c[0] &^= d.vmask[v]
+		return
+	}
+	if d.w2 {
+		m := &d.vmask2[v]
+		c[0] &^= m[0]
+		c[1] &^= m[1]
+		return
+	}
+	if d.w3 {
+		m := &d.vmask3[v]
+		c[0] &^= m[0]
+		c[1] &^= m[1]
+		c[2] &^= m[2]
 		return
 	}
 	for _, s := range d.spans[v] {
@@ -289,6 +368,12 @@ func (d *Domain) PartEmpty(c Cube, v int) bool {
 	if d.w1 {
 		return c[0]&d.vmask[v] == 0
 	}
+	if d.w2 {
+		return d.partEmpty2(c, v)
+	}
+	if d.w3 {
+		return d.partEmpty3(c, v)
+	}
 	for _, s := range d.spans[v] {
 		if c[s.word]&s.mask != 0 {
 			return false
@@ -303,6 +388,12 @@ func (d *Domain) PartFull(c Cube, v int) bool {
 		m := d.vmask[v]
 		return c[0]&m == m
 	}
+	if d.w2 {
+		return d.partFull2(c, v)
+	}
+	if d.w3 {
+		return d.partFull3(c, v)
+	}
 	for _, s := range d.spans[v] {
 		if c[s.word]&s.mask != s.mask {
 			return false
@@ -315,6 +406,12 @@ func (d *Domain) PartFull(c Cube, v int) bool {
 func (d *Domain) PartCount(c Cube, v int) int {
 	if d.w1 {
 		return bits.OnesCount64(c[0] & d.vmask[v])
+	}
+	if d.w2 {
+		return d.partCount2(c, v)
+	}
+	if d.w3 {
+		return d.partCount3(c, v)
 	}
 	n := 0
 	for _, s := range d.spans[v] {
@@ -382,6 +479,12 @@ func (d *Domain) IsEmpty(c Cube) bool {
 		}
 		return false
 	}
+	if d.w2 {
+		return d.isEmpty2(c)
+	}
+	if d.w3 {
+		return d.isEmpty3(c)
+	}
 	for v := range d.sizes {
 		if d.PartEmpty(c, v) {
 			return true
@@ -405,6 +508,12 @@ func (d *Domain) Intersect(dst, a, b Cube) bool {
 		}
 		return true
 	}
+	if d.w2 {
+		return d.intersect2(dst, a, b)
+	}
+	if d.w3 {
+		return d.intersect3(dst, a, b)
+	}
 	for i := range dst {
 		dst[i] = a[i] & b[i]
 	}
@@ -424,6 +533,12 @@ func (d *Domain) Intersects(a, b Cube) bool {
 			}
 		}
 		return true
+	}
+	if d.w2 {
+		return d.intersects2(a, b)
+	}
+	if d.w3 {
+		return d.intersects3(a, b)
 	}
 	for v := range d.sizes {
 		empty := true
@@ -479,6 +594,12 @@ func (d *Domain) Distance(a, b Cube) int {
 		}
 		return n
 	}
+	if d.w2 {
+		return d.distance2(a, b)
+	}
+	if d.w3 {
+		return d.distance3(a, b)
+	}
 	n := 0
 	for v := range d.sizes {
 		empty := true
@@ -511,6 +632,12 @@ func (d *Domain) Cofactor(dst, c, p Cube) bool {
 		}
 		dst[0] = dst[0]&^d.full | (c[0]|^p[0])&d.full
 		return true
+	}
+	if d.w2 {
+		return d.cofactor2(dst, c, p)
+	}
+	if d.w3 {
+		return d.cofactor3(dst, c, p)
 	}
 	if !d.Intersects(c, p) {
 		return false
@@ -555,6 +682,12 @@ func (d *Domain) Consensus(dst, a, b Cube) bool {
 		}
 		return true
 	}
+	if d.w2 {
+		return d.consensus2(dst, a, b)
+	}
+	if d.w3 {
+		return d.consensus3(dst, a, b)
+	}
 	conflict := -1
 	for v := range d.sizes {
 		empty := true
@@ -596,6 +729,12 @@ func (d *Domain) FullParts(c Cube) int {
 			}
 		}
 		return n
+	}
+	if d.w2 {
+		return d.fullParts2(c)
+	}
+	if d.w3 {
+		return d.fullParts3(c)
 	}
 	n := 0
 	for v := range d.sizes {

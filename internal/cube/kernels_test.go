@@ -51,6 +51,114 @@ func randCube(rng *rand.Rand, d *Domain) Cube {
 	return c
 }
 
+// randMultiWordDomain builds a random domain whose bit width lands in
+// (64*(words-1), 64*words]: either all-binary or mixed variable sizes, so
+// fields straddling word boundaries occur regularly.
+func randMultiWordDomain(rng *rand.Rand, words int) *Domain {
+	lo, hi := 64*(words-1)+1, 64*words
+	if rng.Intn(2) == 0 {
+		nv := (lo + 1 + rng.Intn(hi-lo)) / 2
+		if 2*nv <= 64*(words-1) {
+			nv = 64*(words-1)/2 + 1
+		}
+		return Binary(nv)
+	}
+	target := lo + rng.Intn(hi-lo+1)
+	var sizes []int
+	bits := 0
+	for bits < target {
+		s := 1 + rng.Intn(9)
+		if bits+s > hi {
+			s = hi - bits
+		}
+		sizes = append(sizes, s)
+		bits += s
+	}
+	return New(sizes...)
+}
+
+// checkOpsMatchOracle runs the full operation battery on a kernel-enabled
+// domain against its Generic() twin with fresh random cubes.
+func checkOpsMatchOracle(t *testing.T, rng *rand.Rand, d *Domain) {
+	t.Helper()
+	g := d.Generic()
+	if g.KernelWords() != 0 {
+		t.Fatal("Generic() did not disable the kernels")
+	}
+	a, b := randCube(rng, d), randCube(rng, d)
+
+	if got, want := d.IsEmpty(a), g.IsEmpty(a); got != want {
+		t.Fatalf("IsEmpty(%s): kernel %v oracle %v", g.String(a), got, want)
+	}
+	if got, want := d.Intersects(a, b), g.Intersects(a, b); got != want {
+		t.Fatalf("Intersects(%s,%s): kernel %v oracle %v", g.String(a), g.String(b), got, want)
+	}
+	if got, want := d.Distance(a, b), g.Distance(a, b); got != want {
+		t.Fatalf("Distance(%s,%s): kernel %d oracle %d", g.String(a), g.String(b), got, want)
+	}
+	if got, want := d.FullParts(a), g.FullParts(a); got != want {
+		t.Fatalf("FullParts(%s): kernel %d oracle %d", g.String(a), got, want)
+	}
+	for v := 0; v < d.NumVars(); v++ {
+		if d.PartEmpty(a, v) != g.PartEmpty(a, v) ||
+			d.PartFull(a, v) != g.PartFull(a, v) ||
+			d.PartCount(a, v) != g.PartCount(a, v) {
+			t.Fatalf("Part ops disagree on %s var %d", g.String(a), v)
+		}
+	}
+
+	kdst, gdst := d.NewCube(), g.NewCube()
+	kok, gok := d.Intersect(kdst, a, b), g.Intersect(gdst, a, b)
+	if kok != gok || !Equal(kdst, gdst) {
+		t.Fatalf("Intersect(%s,%s): kernel (%s,%v) oracle (%s,%v)",
+			g.String(a), g.String(b), g.String(kdst), kok, g.String(gdst), gok)
+	}
+
+	// Cofactor against a non-empty cube p; dst carries stale garbage
+	// bits to exercise the masked write.
+	p := randCube(rng, d)
+	for v := 0; v < d.NumVars(); v++ {
+		if d.PartEmpty(p, v) {
+			d.Set(p, v, 0)
+		}
+	}
+	kdst, gdst = randCube(rng, d), d.NewCube()
+	copy(gdst, kdst)
+	kok, gok = d.Cofactor(kdst, a, p), g.Cofactor(gdst, a, p)
+	if kok != gok {
+		t.Fatalf("Cofactor(%s,%s): kernel %v oracle %v", g.String(a), g.String(p), kok, gok)
+	}
+	if kok && !Equal(kdst, gdst) {
+		t.Fatalf("Cofactor(%s,%s): kernel %s oracle %s", g.String(a), g.String(p), g.String(kdst), g.String(gdst))
+	}
+
+	kdst, gdst = d.NewCube(), g.NewCube()
+	kok, gok = d.Consensus(kdst, a, b), g.Consensus(gdst, a, b)
+	if kok != gok {
+		t.Fatalf("Consensus(%s,%s): kernel %v oracle %v", g.String(a), g.String(b), kok, gok)
+	}
+	if kok && !Equal(kdst, gdst) {
+		t.Fatalf("Consensus(%s,%s): kernel %s oracle %s", g.String(a), g.String(b), g.String(kdst), g.String(gdst))
+	}
+
+	v := rng.Intn(d.NumVars())
+	ka, ga := a.Clone(), a.Clone()
+	d.SetAll(ka, v)
+	g.SetAll(ga, v)
+	if !Equal(ka, ga) {
+		t.Fatalf("SetAll(%s,%d): kernel %s oracle %s", g.String(a), v, g.String(ka), g.String(ga))
+	}
+	d.ClearAll(ka, v)
+	g.ClearAll(ga, v)
+	if !Equal(ka, ga) {
+		t.Fatalf("ClearAll: kernel %s oracle %s", g.String(ka), g.String(ga))
+	}
+
+	if got, want := d.Minterms(a), g.Minterms(a); got != want {
+		t.Fatalf("Minterms(%s): kernel %d oracle %d", g.String(a), got, want)
+	}
+}
+
 func TestKernelsMatchGenericOracle(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	for iter := 0; iter < 2000; iter++ {
@@ -58,95 +166,55 @@ func TestKernelsMatchGenericOracle(t *testing.T) {
 		if !d.SingleWord() {
 			t.Fatalf("randKernelDomain produced a multi-word domain (%d bits)", d.Bits())
 		}
-		g := d.Generic()
-		if g.SingleWord() {
-			t.Fatal("Generic() did not disable the kernels")
-		}
-		a, b := randCube(rng, d), randCube(rng, d)
-
-		if got, want := d.IsEmpty(a), g.IsEmpty(a); got != want {
-			t.Fatalf("IsEmpty(%s): kernel %v oracle %v", g.String(a), got, want)
-		}
-		if got, want := d.Intersects(a, b), g.Intersects(a, b); got != want {
-			t.Fatalf("Intersects(%s,%s): kernel %v oracle %v", g.String(a), g.String(b), got, want)
-		}
-		if got, want := d.Distance(a, b), g.Distance(a, b); got != want {
-			t.Fatalf("Distance(%s,%s): kernel %d oracle %d", g.String(a), g.String(b), got, want)
-		}
-		if got, want := d.FullParts(a), g.FullParts(a); got != want {
-			t.Fatalf("FullParts(%s): kernel %d oracle %d", g.String(a), got, want)
-		}
-		for v := 0; v < d.NumVars(); v++ {
-			if d.PartEmpty(a, v) != g.PartEmpty(a, v) ||
-				d.PartFull(a, v) != g.PartFull(a, v) ||
-				d.PartCount(a, v) != g.PartCount(a, v) {
-				t.Fatalf("Part ops disagree on %s var %d", g.String(a), v)
-			}
-		}
-
-		kdst, gdst := d.NewCube(), g.NewCube()
-		kok, gok := d.Intersect(kdst, a, b), g.Intersect(gdst, a, b)
-		if kok != gok || !Equal(kdst, gdst) {
-			t.Fatalf("Intersect(%s,%s): kernel (%s,%v) oracle (%s,%v)",
-				g.String(a), g.String(b), g.String(kdst), kok, g.String(gdst), gok)
-		}
-
-		// Cofactor against a non-empty cube p; dst carries stale garbage
-		// bits to exercise the masked write.
-		p := randCube(rng, d)
-		for v := 0; v < d.NumVars(); v++ {
-			if d.PartEmpty(p, v) {
-				d.Set(p, v, 0)
-			}
-		}
-		kdst, gdst = randCube(rng, d), d.NewCube()
-		copy(gdst, kdst)
-		kok, gok = d.Cofactor(kdst, a, p), g.Cofactor(gdst, a, p)
-		if kok != gok {
-			t.Fatalf("Cofactor(%s,%s): kernel %v oracle %v", g.String(a), g.String(p), kok, gok)
-		}
-		if kok && !Equal(kdst, gdst) {
-			t.Fatalf("Cofactor(%s,%s): kernel %s oracle %s", g.String(a), g.String(p), g.String(kdst), g.String(gdst))
-		}
-
-		kdst, gdst = d.NewCube(), g.NewCube()
-		kok, gok = d.Consensus(kdst, a, b), g.Consensus(gdst, a, b)
-		if kok != gok {
-			t.Fatalf("Consensus(%s,%s): kernel %v oracle %v", g.String(a), g.String(b), kok, gok)
-		}
-		if kok && !Equal(kdst, gdst) {
-			t.Fatalf("Consensus(%s,%s): kernel %s oracle %s", g.String(a), g.String(b), g.String(kdst), g.String(gdst))
-		}
-
-		v := rng.Intn(d.NumVars())
-		ka, ga := a.Clone(), a.Clone()
-		d.SetAll(ka, v)
-		g.SetAll(ga, v)
-		if !Equal(ka, ga) {
-			t.Fatalf("SetAll(%s,%d): kernel %s oracle %s", g.String(a), v, g.String(ka), g.String(ga))
-		}
-		d.ClearAll(ka, v)
-		g.ClearAll(ga, v)
-		if !Equal(ka, ga) {
-			t.Fatalf("ClearAll: kernel %s oracle %s", g.String(ka), g.String(ga))
-		}
-
-		if got, want := d.Minterms(a), g.Minterms(a); got != want {
-			t.Fatalf("Minterms(%s): kernel %d oracle %d", g.String(a), got, want)
-		}
+		checkOpsMatchOracle(t, rng, d)
 	}
 }
 
-// A domain wider than 64 bits must not select the kernels and must still
-// behave (the generic path handles it as before).
-func TestMultiWordDomainSkipsKernels(t *testing.T) {
-	d := Binary(40) // 80 bits, two words
-	if d.SingleWord() {
-		t.Fatal("80-bit domain claims single-word kernels")
+// The 2- and 3-word kernels must agree with the generic span path on every
+// operation, including domains with fields straddling word boundaries.
+func TestMultiWordKernelsMatchGenericOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for iter := 0; iter < 1500; iter++ {
+		words := 2 + rng.Intn(2)
+		d := randMultiWordDomain(rng, words)
+		if d.KernelWords() != words {
+			t.Fatalf("randMultiWordDomain(%d) selected tier %d (%d bits)",
+				words, d.KernelWords(), d.Bits())
+		}
+		checkOpsMatchOracle(t, rng, d)
 	}
-	u := d.Universe()
-	if d.IsEmpty(u) || d.FullParts(u) != 40 {
-		t.Fatal("multi-word universe mishandled")
+}
+
+// Kernel-tier selection: 1/2/3 words pick the matching fast path, anything
+// past 192 bits falls back to the generic span loop.
+func TestKernelTierSelection(t *testing.T) {
+	cases := []struct {
+		nv, words int
+	}{
+		{8, 1},   // 16 bits
+		{32, 1},  // 64 bits, boundary of tier 1
+		{33, 2},  // 66 bits
+		{40, 2},  // 80 bits
+		{64, 2},  // 128 bits, boundary of tier 2
+		{65, 3},  // 130 bits
+		{96, 3},  // 192 bits, boundary of tier 3
+		{97, 0},  // 194 bits: generic only
+		{128, 0}, // 256 bits: generic only
+	}
+	for _, c := range cases {
+		d := Binary(c.nv)
+		if d.KernelWords() != c.words {
+			t.Fatalf("Binary(%d) (%d bits): KernelWords %d, want %d",
+				c.nv, d.Bits(), d.KernelWords(), c.words)
+		}
+		if d.SingleWord() != (c.words == 1) {
+			t.Fatalf("Binary(%d): SingleWord %v inconsistent with tier %d",
+				c.nv, d.SingleWord(), c.words)
+		}
+		u := d.Universe()
+		if d.IsEmpty(u) || d.FullParts(u) != c.nv {
+			t.Fatalf("Binary(%d): universe mishandled", c.nv)
+		}
 	}
 }
 

@@ -25,13 +25,13 @@ type scorer struct {
 
 var scorerPool = sync.Pool{New: func() any { return new(scorer) }}
 
-// exactCount scores one constraint with the pooled exact path: the same
-// ON/OFF partition ConstraintFunction builds (member codes ON, non-member
-// codes OFF, unused codes implicit DC), fed to the count-only mirror of
-// exact.Minimize.
+// build populates the pooled code-cube slab and the ON/OFF cover headers
+// for one constraint scoring — the same partition ConstraintFunction
+// builds (member codes ON, non-member codes OFF, unused codes implicit
+// DC) — and returns the interned domain.
 //
 //picola:hot
-func (s *scorer) exactCount(e *face.Encoding, c face.Constraint) (int, error) {
+func (s *scorer) build(e *face.Encoding, c face.Constraint) *cube.Domain {
 	//lint:ignore hotalloc interned domain: allocates only on the first use of a given nv
 	d := cube.BinaryInterned(e.NV)
 	n := e.N()
@@ -58,6 +58,30 @@ func (s *scorer) exactCount(e *face.Encoding, c face.Constraint) (int, error) {
 	}
 	s.on = cover.Cover{D: d, Cubes: s.onCubes}
 	s.off = cover.Cover{D: d, Cubes: s.offCubes}
+	return d
+}
+
+// exactCount scores one constraint with the pooled exact path: the slab
+// build above fed to the count-only mirror of exact.Minimize.
+//
+//picola:hot
+func (s *scorer) exactCount(e *face.Encoding, c face.Constraint) (int, error) {
+	d := s.build(e, c)
 	s.fn = espresso.Function{D: d, On: &s.on, Off: &s.off}
 	return s.counter.Count(&s.fn, e.NV)
+}
+
+// heurCount scores one constraint with the pooled espresso path. dc may
+// carry the memoized don't-care cover of the encoding's used-code set
+// (nil lets espresso derive it from On/Off as before); espresso clones
+// the ON cover and never mutates or retains Off/DC cubes, so the pooled
+// slab and a shared DC cover are both safe here.
+func (s *scorer) heurCount(e *face.Encoding, c face.Constraint, dc *cover.Cover) (int, error) {
+	d := s.build(e, c)
+	s.fn = espresso.Function{D: d, On: &s.on, Off: &s.off, DC: dc}
+	min, err := espresso.Minimize(&s.fn)
+	if err != nil {
+		return 0, err
+	}
+	return min.Len(), nil
 }

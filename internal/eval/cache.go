@@ -4,6 +4,8 @@ import (
 	"sync"
 	"time"
 
+	"picola/internal/cover"
+	"picola/internal/exact"
 	"picola/internal/face"
 	"picola/internal/obs"
 )
@@ -38,6 +40,9 @@ const (
 	// answering lookups; the memoized value of a key never changes, so
 	// the bound affects speed only, never results.
 	cacheShardCap = 4096
+	// dcMemoCap bounds the don't-care memo; a full memo recomputes
+	// fresh covers instead of storing, affecting speed only.
+	dcMemoCap = 256
 )
 
 // Cache is a sharded, concurrency-safe memo for constraint-function
@@ -49,6 +54,14 @@ const (
 // *Cache is valid and simply computes every request.
 type Cache struct {
 	shards [cacheShards]cacheShard
+
+	// Don't-care memo for the espresso path: the complement of the
+	// used-code minterms, keyed by the [nv, used-bitset] sub-signature
+	// (see keyBuf.dcKey). Shared read-only across minimizations —
+	// espresso never mutates its DC input and never aliases result
+	// storage to it.
+	dcMu sync.RWMutex
+	dcm  map[string]*cover.Cover
 }
 
 type cacheShard struct {
@@ -58,7 +71,7 @@ type cacheShard struct {
 
 // NewCache returns an empty cache.
 func NewCache() *Cache {
-	c := &Cache{}
+	c := &Cache{dcm: make(map[string]*cover.Cover)}
 	for i := range c.shards {
 		c.shards[i].m = make(map[string]int)
 	}
@@ -97,21 +110,30 @@ func (c *Cache) cubes(e *face.Encoding, con face.Constraint, heuristic bool) (in
 	}
 	t0 := time.Now()
 	defer func() { hCacheLookup.Observe(int64(time.Since(t0))) }()
-	key, ok := cacheKey(e, con, heuristic)
-	if !ok {
+	if satisfiedOne(e, con) {
+		// Warm certificate: the member-code supercube contains no OFF
+		// code, so the minimum cover is provably that single cube — the
+		// count any minimizer policy returns (the ConstraintCubes
+		// contract). Answer without a key build, lock, or minimizer.
+		mWarmHits.Inc()
+		return 1, nil
+	}
+	kb := keyPool.Get().(*keyBuf)
+	defer keyPool.Put(kb)
+	if !kb.cacheKey(e, con, heuristic) {
 		mCacheBypass.Inc()
 		return minimizeConstraint(e, con, heuristic)
 	}
-	sh := &c.shards[fnvShard(key)]
+	sh := &c.shards[fnvShard(kb.key)]
 	sh.mu.RLock()
-	k, hit := sh.m[key]
+	k, hit := sh.m[string(kb.key)]
 	sh.mu.RUnlock()
 	if hit {
 		mCacheHits.Inc()
 		updateRate()
 		return k, nil
 	}
-	k, err := minimizeConstraint(e, con, heuristic)
+	k, err := c.minimizeWarm(e, con, heuristic, kb)
 	if err != nil {
 		return 0, err
 	}
@@ -120,7 +142,7 @@ func (c *Cache) cubes(e *face.Encoding, con face.Constraint, heuristic bool) (in
 	sh.mu.Lock()
 	inserted := len(sh.m) < cacheShardCap
 	if inserted {
-		sh.m[key] = k
+		sh.m[string(kb.key)] = k
 	}
 	sh.mu.Unlock()
 	if inserted {
@@ -138,54 +160,28 @@ func updateRate() {
 	}
 }
 
-// cacheKey builds the canonical signature of one minimization request:
-// one policy byte, the code length, the ON-set bitset and the used-code
-// bitset over the 2^nv code space. It reports ok = false when the
-// request cannot be canonicalized that way — the code space exceeds
-// cacheMaxNV, or a member and a non-member share a code (only possible
-// on non-injective encodings), which would put the code in both the
-// ON and OFF covers.
-func cacheKey(e *face.Encoding, con face.Constraint, heuristic bool) (string, bool) {
-	nv := e.NV
-	if nv > cacheMaxNV || con.N() != e.N() {
-		return "", false
+// minimizeWarm is the cache-miss compute path: the pooled exact scorer
+// within the input limit (identical to the cold path), otherwise the
+// pooled espresso build seeded with the memoized don't-care cover of the
+// request's (nv, used-codes) signature. Counts are identical to
+// minimizeConstraint — the warm layer only changes how the same
+// minimization input is assembled.
+func (c *Cache) minimizeWarm(e *face.Encoding, con face.Constraint, heuristic bool, kb *keyBuf) (int, error) {
+	mConstraintCubes.Inc()
+	t0 := time.Now()
+	defer func() { hMinimize.Observe(int64(time.Since(t0))) }()
+	s := scorerPool.Get().(*scorer)
+	defer scorerPool.Put(s)
+	if !heuristic && e.NV <= exact.MaxInputs {
+		mExact.Inc()
+		return s.exactCount(e, con)
 	}
-	words := ((1 << uint(nv)) + 63) / 64
-	mask := uint64(1)<<uint(nv) - 1
-	on := make([]uint64, 2*words) // on ∥ used, one allocation
-	used := on[words:]
-	for s := 0; s < e.N(); s++ {
-		code := e.Codes[s] & mask
-		used[code/64] |= 1 << (code % 64)
-		if con.Has(s) {
-			on[code/64] |= 1 << (code % 64)
-		}
-	}
-	for s := 0; s < e.N(); s++ {
-		if con.Has(s) {
-			continue
-		}
-		code := e.Codes[s] & mask
-		if on[code/64]&(1<<(code%64)) != 0 {
-			return "", false // code is both ON and OFF: not canonicalizable
-		}
-	}
-	key := make([]byte, 0, 2+16*words)
-	tag := byte(0)
-	if heuristic {
-		tag = 1
-	}
-	key = append(key, tag, byte(nv))
-	for _, w := range on { // on then used: the slices share backing
-		key = append(key,
-			byte(w), byte(w>>8), byte(w>>16), byte(w>>24),
-			byte(w>>32), byte(w>>40), byte(w>>48), byte(w>>56))
-	}
-	return string(key), true
+	mHeuristic.Inc()
+	return s.heurCount(e, con, c.dcCover(kb, e))
 }
 
 // fnvShard hashes the key (FNV-1a) onto a shard index.
-func fnvShard(key string) uint64 {
+func fnvShard(key []byte) uint64 {
 	const (
 		offset64 = 14695981039346656037
 		prime64  = 1099511628211

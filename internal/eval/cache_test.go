@@ -8,6 +8,16 @@ import (
 	"picola/internal/par"
 )
 
+// cacheKey is the unpooled form of keyBuf.cacheKey, for tests that
+// inspect key identity and bypass decisions.
+func cacheKey(e *face.Encoding, c face.Constraint, heuristic bool) (string, bool) {
+	var kb keyBuf
+	if !kb.cacheKey(e, c, heuristic) {
+		return "", false
+	}
+	return string(kb.key), true
+}
+
 // randomInstance builds a deterministic pseudo-random injective encoding
 // and a non-trivial constraint over it.
 func randomInstance(r *rand.Rand) (*face.Encoding, face.Constraint) {

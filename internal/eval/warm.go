@@ -1,0 +1,215 @@
+package eval
+
+import (
+	"math/bits"
+	"sync"
+
+	"picola/internal/cover"
+	"picola/internal/cube"
+	"picola/internal/face"
+	"picola/internal/obs"
+)
+
+// Warm-start metrics. hits counts requests answered by the satisfied
+// certificate alone (no key build, no minimizer); dc_hits counts espresso
+// runs seeded with a memoized don't-care cover; fallbacks counts espresso
+// runs that had to derive the don't-care cover from scratch (first sight
+// of a used-code signature, or a non-injective encoding the memo must not
+// canonicalize).
+var (
+	mWarmHits      = obs.Default.Counter("eval.warm.hits")
+	mWarmDCHits    = obs.Default.Counter("eval.warm.dc_hits")
+	mWarmFallbacks = obs.Default.Counter("eval.warm.fallbacks")
+)
+
+// satisfiedOne reports the warm certificate: the constraint has at least
+// one member and the supercube of the member codes (the agree-column
+// cube) contains no non-member's code. Every minterm of that supercube is
+// then ON or don't-care, so the supercube itself is a legal implicant
+// covering the whole ON-set — the minimum cover is exactly one cube, and
+// both the exact minimizer and espresso provably return it (espresso's
+// first expansion is never blocked inside the supercube, making it the
+// single essential prime). This is the same single-cube contract
+// Evaluate's satisfied shortcut and the verify oracle already enforce;
+// here it answers the request without touching the cache or a minimizer.
+// The scan mirrors face.Encoding.Intruders without its allocations.
+//
+//picola:hot
+func satisfiedOne(e *face.Encoding, con face.Constraint) bool {
+	if con.N() != e.N() {
+		return false
+	}
+	n := e.N()
+	first := -1
+	var agreeMask, val uint64
+	for s := 0; s < n; s++ {
+		if !con.Has(s) {
+			continue
+		}
+		if first < 0 {
+			first = s
+			val = e.Codes[s]
+			agreeMask = ^uint64(0)
+			if e.NV < 64 {
+				agreeMask = uint64(1)<<uint(e.NV) - 1
+			}
+			continue
+		}
+		agreeMask &^= val ^ e.Codes[s]
+	}
+	if first < 0 {
+		return false
+	}
+	for s := 0; s < n; s++ {
+		if con.Has(s) {
+			continue
+		}
+		if (e.Codes[s]^val)&agreeMask == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// keyBuf is the pooled scratch of one cache lookup: the on/used bitset
+// words and the serialized key bytes. On a warmed instance a lookup
+// allocates nothing (map reads via string(kb.key) compile to no-copy
+// lookups; only a miss's insert interns the key).
+type keyBuf struct {
+	key       []byte
+	words     []uint64
+	injective bool // every symbol has a distinct code
+}
+
+var keyPool = sync.Pool{New: func() any { return new(keyBuf) }}
+
+// cacheKey builds the canonical signature of one minimization request
+// into the pooled buffer: one policy byte, the code length, the used-code
+// bitset (whose complement is the don't-care set) and the ON-set bitset
+// over the 2^nv code space — in that order, so the [nv, used...] prefix
+// (see dcKey) is the contiguous sub-signature the don't-care cover is a
+// pure function of. It reports false when the request cannot be
+// canonicalized that way — the code space exceeds cacheMaxNV, or a member
+// and a non-member share a code (only possible on non-injective
+// encodings), which would put the code in both the ON and OFF covers.
+//
+//picola:hot
+func (kb *keyBuf) cacheKey(e *face.Encoding, con face.Constraint, heuristic bool) bool {
+	nv := e.NV
+	if nv > cacheMaxNV || con.N() != e.N() {
+		return false
+	}
+	words := ((1 << uint(nv)) + 63) / 64
+	mask := uint64(1)<<uint(nv) - 1
+	if cap(kb.words) < 2*words {
+		kb.words = make([]uint64, 2*words)
+	}
+	kb.words = kb.words[:2*words]
+	for i := range kb.words {
+		kb.words[i] = 0
+	}
+	on := kb.words[:words]
+	used := kb.words[words:]
+	for s := 0; s < e.N(); s++ {
+		code := e.Codes[s] & mask
+		used[code/64] |= 1 << (code % 64)
+		if con.Has(s) {
+			on[code/64] |= 1 << (code % 64)
+		}
+	}
+	usedCount := 0
+	for _, w := range used {
+		usedCount += bits.OnesCount64(w)
+	}
+	kb.injective = usedCount == e.N()
+	for s := 0; s < e.N(); s++ {
+		if con.Has(s) {
+			continue
+		}
+		code := e.Codes[s] & mask
+		if on[code/64]&(1<<(code%64)) != 0 {
+			return false // code is both ON and OFF: not canonicalizable
+		}
+	}
+	if cap(kb.key) < 2+16*words {
+		kb.key = make([]byte, 0, 2+16*words)
+	}
+	kb.key = kb.key[:0]
+	tag := byte(0)
+	if heuristic {
+		tag = 1
+	}
+	kb.key = append(kb.key, tag, byte(nv))
+	for _, w := range kb.words[words:] { // used first, then on
+		kb.key = append(kb.key,
+			byte(w), byte(w>>8), byte(w>>16), byte(w>>24),
+			byte(w>>32), byte(w>>40), byte(w>>48), byte(w>>56))
+	}
+	for _, w := range kb.words[:words] {
+		kb.key = append(kb.key,
+			byte(w), byte(w>>8), byte(w>>16), byte(w>>24),
+			byte(w>>32), byte(w>>40), byte(w>>48), byte(w>>56))
+	}
+	return true
+}
+
+// dcKey returns the [nv, used-words...] prefix of the built key — the
+// signature the don't-care cover depends on. Splits of the same code set
+// into different ON/OFF partitions share it.
+func (kb *keyBuf) dcKey() []byte {
+	words := len(kb.words) / 2
+	return kb.key[1 : 2+8*words]
+}
+
+// dcCover returns the don't-care cover — the complement of the used-code
+// minterms — for the request canonicalized in kb, memoized per
+// (nv, used-bitset) signature. The complement's output is a pure function
+// of the input cube multiset (order-insensitive: see
+// cover.TestComplementOrderInsensitive), so for injective encodings the
+// memoized cover is identical to the one espresso.Minimize would derive
+// internally, whatever symbol order or ON/OFF split produced it. A
+// non-injective encoding's minterm multiset carries multiplicities the
+// bitset cannot represent, so those requests always rebuild — exactly the
+// cold construction, never memoized.
+func (c *Cache) dcCover(kb *keyBuf, e *face.Encoding) *cover.Cover {
+	if kb.injective {
+		dk := kb.dcKey()
+		c.dcMu.RLock()
+		dc, ok := c.dcm[string(dk)]
+		c.dcMu.RUnlock()
+		if ok {
+			mWarmDCHits.Inc()
+			return dc
+		}
+	}
+	mWarmFallbacks.Inc()
+	d := cube.BinaryInterned(e.NV)
+	un := cover.New(d)
+	for s := 0; s < e.N(); s++ {
+		cu := d.NewCube()
+		for col := 0; col < e.NV; col++ {
+			d.Set(cu, col, e.Bit(s, col))
+		}
+		un.Add(cu)
+	}
+	dc := un.Complement()
+	if kb.injective {
+		dc = c.dcStore(string(kb.dcKey()), dc)
+	}
+	return dc
+}
+
+// dcStore interns a freshly built don't-care cover under its signature.
+// A concurrent builder may have won the race; the canonical (first
+// stored) entry is returned either way so every caller shares one cover.
+func (c *Cache) dcStore(k string, dc *cover.Cover) *cover.Cover {
+	c.dcMu.Lock()
+	defer c.dcMu.Unlock()
+	if prev, ok := c.dcm[k]; ok {
+		return prev
+	}
+	if len(c.dcm) < dcMemoCap {
+		c.dcm[k] = dc
+	}
+	return dc
+}

@@ -88,8 +88,8 @@ func TestLatencyHistogramLayout(t *testing.T) {
 	if m.LatencyHistogram("lat") != h {
 		t.Fatal("second registration returned a different histogram")
 	}
-	h.Observe(int64(300 * time.Nanosecond))   // bucket 1 (≤1024)
-	h.Observe(int64(2 * time.Second))         // overflow (>2^30 ns)
+	h.Observe(int64(300 * time.Nanosecond)) // bucket 1 (≤1024)
+	h.Observe(int64(2 * time.Second))       // overflow (>2^30 ns)
 	hs := m.Snapshot().Histograms["lat"]
 	if len(hs.Bounds) != len(LatencyBounds) || hs.Bounds[0] != 256 || hs.Bounds[len(hs.Bounds)-1] != 1<<30 {
 		t.Fatalf("bounds = %v, want the LatencyBounds layout", hs.Bounds)

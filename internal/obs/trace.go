@@ -46,7 +46,10 @@ const (
 )
 
 // Tracer receives structured events. Implementations must be safe for
-// concurrent use; a nil Tracer means tracing is off.
+// concurrent use; a nil Tracer means tracing is off. Emit must not retain
+// e.Attrs after returning — hot emitters reuse a pooled map between
+// events — so an implementation that stores events (rather than
+// serializing them in place) must copy the map.
 type Tracer interface {
 	Emit(e Event)
 }
@@ -196,8 +199,16 @@ type Recorder struct {
 	Events []Event
 }
 
-// Emit implements Tracer.
+// Emit implements Tracer. The Attrs map is copied: stored events must
+// survive the emitter reusing a pooled map (the Tracer contract).
 func (r *Recorder) Emit(e Event) {
+	if len(e.Attrs) > 0 {
+		a := make(map[string]float64, len(e.Attrs))
+		for k, v := range e.Attrs {
+			a[k] = v
+		}
+		e.Attrs = a
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.Events = append(r.Events, e)

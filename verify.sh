@@ -36,9 +36,10 @@ go test ./...
 go test -race ./...
 
 # Allocation-regression gate: on a warmed arena, one exact constraint
-# scoring must perform zero heap allocations (the hot-path pooling
-# contract; testing.AllocsPerRun-based, so a single stray make fails it).
-go test -run TestAllocs -count=1 ./internal/eval
+# scoring must perform zero heap allocations, and on a warmed encoder one
+# classify column scan likewise (the hot-path pooling contract;
+# testing.AllocsPerRun-based, so a single stray make fails it).
+go test -run TestAllocs -count=1 ./internal/eval ./internal/core
 
 # Hot-path semantics gate: regenerate the Table I snapshot and require
 # zero cube-count deltas against the committed baseline — the kernel,
@@ -49,13 +50,19 @@ go test -run TestAllocs -count=1 ./internal/eval
 tables_tmp=$(mktemp /tmp/picola-bench.XXXXXX.json)
 ledger_tmp=$(mktemp /tmp/picola-ledger.XXXXXX.json)
 go run ./cmd/tables -table 1 -json "$tables_tmp" -ledger "$ledger_tmp" >/dev/null
-go run ./cmd/tables -diff BENCH_1.json "$tables_tmp"
+go run ./cmd/tables -diff BENCH_3.json "$tables_tmp"
 grep -q '"schema": "picola-ledger/v1"' "$ledger_tmp"
 
 # Regression-comparator self-consistency: obsdiff of a snapshot against
 # itself must exit 0 for both input kinds, whatever the thresholds.
 go run ./cmd/obsdiff "$ledger_tmp" "$ledger_tmp"
-go run ./cmd/obsdiff BENCH_1.json BENCH_1.json
+go run ./cmd/obsdiff BENCH_3.json BENCH_3.json
+
+# Cross-snapshot trajectory gate: the committed BENCH_2 -> BENCH_3 step
+# (the set-algebra classify / multi-word kernel / warm-start PR) must show
+# no wall regression. Sub-15ms measurements sit inside the container's
+# timer noise and are skipped; the large rows carry the signal.
+go run ./cmd/obsdiff -min-ns 15000000 BENCH_2.json BENCH_3.json
 rm -f "$tables_tmp" "$ledger_tmp"
 
 # Introspection-server smoke: run a sweep with -http on an ephemeral
