@@ -12,7 +12,13 @@
 // Flags select the algorithm (picola, nova, enc, optimal, all), an
 // optional code-length override, and whether to print the per-constraint
 // cube evaluation. "optimal" is the exhaustive reference (≤ 8 symbols);
-// "all" grows the length until every constraint is satisfied.
+// "all" grows the length until every constraint is satisfied. The whole
+// run goes through the public picola package: the CLI is a thin shell
+// over picola.Encode.
+//
+// -timeout D bounds the run's wall clock; a run past the deadline exits
+// with an error wrapping context.DeadlineExceeded and prints no partial
+// encoding (the cancellation contract of DESIGN.md §14).
 //
 // -j N bounds the encoders' internal parallel fan-out (the PICOLA
 // portfolio, ENC's candidate scoring, the evaluator); the default is
@@ -30,115 +36,56 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"io"
 	"os"
-	"sort"
 	"strings"
 
-	"picola/internal/baseline/enc"
-	"picola/internal/baseline/nova"
+	"picola"
 	"picola/internal/consfile"
-	"picola/internal/core"
-	"picola/internal/eval"
 	"picola/internal/face"
 	"picola/internal/obs"
 	"picola/internal/obs/obshttp"
-	"picola/internal/optenc"
 	"picola/internal/par"
 	"picola/internal/verify"
 )
 
-// jWorkers and memo are the shared -j fan-out width and the process-wide
-// minimization memo-cache, set in main before dispatch.
-var (
-	jWorkers = 1
-	memo     *eval.Cache
-)
-
-// run dispatches one encoder run; keyed by the -algo flag value. diag
-// receives progress/warning lines (os.Stderr in main; the -check
-// shrinker re-runs encoders with io.Discard).
-var algorithms = map[string]func(p *face.Problem, nv int, seed int64, tr obs.Tracer, diag io.Writer) (*face.Encoding, error){
-	"picola": func(p *face.Problem, nv int, seed int64, tr obs.Tracer, diag io.Writer) (*face.Encoding, error) {
-		r, err := core.Encode(p, core.Options{NV: nv, Trace: tr, Workers: jWorkers, Cache: memo})
-		if err != nil {
-			return nil, err
-		}
-		return r.Encoding, nil
-	},
-	"nova": func(p *face.Problem, nv int, seed int64, tr obs.Tracer, diag io.Writer) (*face.Encoding, error) {
-		return nova.Encode(p, nova.Options{Seed: seed, NV: nv})
-	},
-	"enc": func(p *face.Problem, nv int, seed int64, tr obs.Tracer, diag io.Writer) (*face.Encoding, error) {
-		r, err := enc.Encode(p, enc.Options{Seed: seed, NV: nv, Workers: jWorkers, Cache: memo})
-		if err != nil {
-			return nil, err
-		}
-		if !r.Completed {
-			fmt.Fprintln(diag, "picola: warning: enc search ran out of budget")
-		}
-		return r.Encoding, nil
-	},
-	"optimal": func(p *face.Problem, nv int, seed int64, tr obs.Tracer, diag io.Writer) (*face.Encoding, error) {
-		r, err := optenc.Optimal(p)
-		if err != nil {
-			return nil, err
-		}
-		fmt.Fprintf(diag, "picola: exhaustive optimum over %d encodings: %d cubes\n",
-			r.Evaluated, r.Cubes)
-		return r.Encoding, nil
-	},
-	"all": func(p *face.Problem, nv int, seed int64, tr obs.Tracer, diag io.Writer) (*face.Encoding, error) {
-		r, err := core.EncodeAll(p, core.Options{Trace: tr, Workers: jWorkers, Cache: memo})
-		if err != nil {
-			return nil, err
-		}
-		fmt.Fprintf(diag, "picola: full satisfaction at %d bits (minimum %d)\n",
-			r.Encoding.NV, p.MinLength())
-		return r.Encoding, nil
-	},
-}
-
-func validAlgos() string {
-	names := make([]string, 0, len(algorithms))
-	for name := range algorithms {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	return strings.Join(names, ", ")
-}
-
 func main() {
-	algo := flag.String("algo", "picola", "encoder: "+validAlgos())
+	algo := flag.String("algo", "picola", "encoder: "+strings.Join(picola.Algorithms(), ", "))
 	nv := flag.Int("nv", 0, "code length override (0 = minimum)")
 	seed := flag.Int64("seed", 1, "seed for the randomized encoders")
 	evaluate := flag.Bool("eval", true, "print the per-constraint cube evaluation")
 	check := flag.Bool("check", false, "run the semantic verification oracle on the encoding; exit 1 with a shrunk repro on failure")
+	timeout := flag.Duration("timeout", 0, "bound the run's wall clock (0 = none)")
 	jFlag := par.RegisterFlag(flag.CommandLine)
 	verbose := flag.Bool("v", false, "print a per-stage wall-clock summary to stderr")
 	var oc obs.Config
 	oc.Command = "picola"
 	oc.RegisterFlags(flag.CommandLine)
 	flag.Parse()
-	jWorkers = par.Workers(*jFlag)
-	memo = eval.NewCache()
 
 	// Validate -algo before touching the input so a typo fails fast with
 	// the valid set instead of falling through mid-run.
-	run, ok := algorithms[*algo]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "picola: unknown -algo %q (valid: %s)\n", *algo, validAlgos())
+	if !validAlgo(*algo) {
+		fmt.Fprintf(os.Stderr, "picola: unknown -algo %q (valid: %s)\n",
+			*algo, strings.Join(picola.Algorithms(), ", "))
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	session, err := oc.Start()
 	if err != nil {
 		fatal(err)
 	}
-	httpSrv, err := obshttp.Start(oc.HTTPAddr, obshttp.Options{})
+	httpSrv, err := obshttp.StartContext(ctx, oc.HTTPAddr, obshttp.Options{})
 	if err != nil {
 		fatal(err)
 	}
@@ -160,29 +107,46 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	e, err := run(p, *nv, *seed, session.Tracer, os.Stderr)
+	memo := picola.NewCache()
+	opts := picola.Options{
+		Algorithm: *algo,
+		NV:        *nv,
+		Seed:      *seed,
+		Workers:   par.Workers(*jFlag),
+		Cache:     memo,
+		Trace:     session.Tracer,
+		Evaluate:  *evaluate,
+	}
+	res, err := picola.Encode(ctx, p, opts)
 	if err != nil {
 		fatal(err)
 	}
+	for _, w := range res.Warnings {
+		fmt.Fprintln(os.Stderr, "picola:", w)
+	}
+	e := res.Encoding
 	if *check {
 		// The minimum-length invariant only holds when the length was not
 		// overridden and the encoder targets it ("all" grows the length).
-		opts := verify.Options{RequireMinLength: *nv == 0 && *algo != "all"}
+		vopts := verify.Options{RequireMinLength: *nv == 0 && *algo != "all"}
 		rep := &verify.Report{}
-		rep.Merge(verify.CheckEncoding(p, e, opts))
+		rep.Merge(verify.CheckEncoding(p, e, vopts))
 		rep.Merge(verify.CheckMinimization(p, e, memo))
 		rep.Merge(verify.CheckCost(p, e, memo))
 		if !rep.Ok() {
 			fmt.Fprintln(os.Stderr, "picola: -check failed:", rep.Err())
+			reopts := opts
+			reopts.Trace = nil
+			reopts.Evaluate = false
 			shrunk := verify.Shrink(p, func(q *face.Problem) bool {
-				qe, err := run(q, *nv, *seed, nil, io.Discard)
+				qr, err := picola.Encode(ctx, q, reopts)
 				if err != nil {
 					return false
 				}
 				bad := &verify.Report{}
-				bad.Merge(verify.CheckEncoding(q, qe, opts))
-				bad.Merge(verify.CheckMinimization(q, qe, memo))
-				bad.Merge(verify.CheckCost(q, qe, memo))
+				bad.Merge(verify.CheckEncoding(q, qr.Encoding, vopts))
+				bad.Merge(verify.CheckMinimization(q, qr.Encoding, memo))
+				bad.Merge(verify.CheckCost(q, qr.Encoding, memo))
 				return !bad.Ok()
 			}, 0)
 			fmt.Fprintf(os.Stderr, "picola: shrunk repro:\n%s", verify.Repro(shrunk))
@@ -197,10 +161,7 @@ func main() {
 		fmt.Printf("%-12s %s\n", p.Names[s], e.CodeString(s))
 	}
 	if *evaluate {
-		c, err := eval.Evaluate(p, e, eval.Options{Cache: memo, Workers: jWorkers})
-		if err != nil {
-			fatal(err)
-		}
+		c := res.Cost
 		fmt.Printf("\nconstraints: %d  satisfied: %d  cubes: %d (weighted %d)\n",
 			len(p.Constraints), c.SatisfiedCount, c.Total, c.WeightedTotal)
 		for i, k := range c.Cubes {
@@ -217,6 +178,15 @@ func main() {
 	if err := session.Close(); err != nil {
 		fatal(err)
 	}
+}
+
+func validAlgo(name string) bool {
+	for _, a := range picola.Algorithms() {
+		if a == name {
+			return true
+		}
+	}
+	return false
 }
 
 func fatal(err error) {

@@ -21,6 +21,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -62,6 +63,7 @@ func main() {
 	reduce := flag.Bool("reduce", false, "merge compatible states before assignment")
 	check := flag.Bool("check", false, "verify the state encoding against the semantic oracle; exit 1 with a shrunk repro on failure")
 	seed := flag.Int64("seed", 1, "seed for the randomized encoders")
+	timeout := flag.Duration("timeout", 0, "bound the run's wall clock (0 = none)")
 	jFlag := par.RegisterFlag(flag.CommandLine)
 	verbose := flag.Bool("v", false, "print a per-stage wall-clock summary to stderr")
 	var oc obs.Config
@@ -70,12 +72,18 @@ func main() {
 	flag.Parse()
 	jWorkers := par.Workers(*jFlag)
 	memo := eval.NewCache()
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	session, err := oc.Start()
 	if err != nil {
 		fatal(err)
 	}
-	httpSrv, err := obshttp.Start(oc.HTTPAddr, obshttp.Options{})
+	httpSrv, err := obshttp.StartContext(ctx, oc.HTTPAddr, obshttp.Options{})
 	if err != nil {
 		fatal(err)
 	}
@@ -108,7 +116,7 @@ func main() {
 	}
 	if *compare {
 		for _, name := range []string{"picola", "nova-ih", "nova-ioh", "enc", "natural"} {
-			rep, err := stassign.Assign(m, stassign.Options{Encoder: encoderNames[name], Seed: *seed,
+			rep, err := stassign.AssignContext(ctx, m, stassign.Options{Encoder: encoderNames[name], Seed: *seed,
 				Workers: jWorkers, Cache: memo})
 			if err != nil {
 				fatal(fmt.Errorf("%s: %w", name, err))
@@ -128,7 +136,7 @@ func main() {
 	if !ok {
 		fatal(fmt.Errorf("unknown encoder %q", *encName))
 	}
-	rep, err := stassign.Assign(m, stassign.Options{Encoder: encoder, Seed: *seed, Trace: session.Tracer,
+	rep, err := stassign.AssignContext(ctx, m, stassign.Options{Encoder: encoder, Seed: *seed, Trace: session.Tracer,
 		Workers: jWorkers, Cache: memo})
 	if err != nil {
 		fatal(err)
@@ -167,7 +175,7 @@ func main() {
 	fmt.Printf("time: encode %v, total %v\n",
 		rep.EncodeTime.Round(1e6), rep.TotalTime.Round(1e6))
 	if *blifOut != "" {
-		min, d, err := stassign.MinimizeEncoded(m, rep.Encoding)
+		min, d, err := stassign.MinimizeEncodedContext(ctx, m, rep.Encoding)
 		if err != nil {
 			fatal(err)
 		}
@@ -184,7 +192,7 @@ func main() {
 		fmt.Println("wrote", *blifOut)
 	}
 	if *plaOut != "" {
-		min, d, err := stassign.MinimizeEncoded(m, rep.Encoding)
+		min, d, err := stassign.MinimizeEncodedContext(ctx, m, rep.Encoding)
 		if err != nil {
 			fatal(err)
 		}

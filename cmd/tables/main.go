@@ -31,6 +31,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -43,6 +44,7 @@ import (
 	"picola/internal/baseline/nova"
 	"picola/internal/benchgen"
 	"picola/internal/core"
+	"picola/internal/ctxutil"
 	"picola/internal/eval"
 	"picola/internal/face"
 	"picola/internal/obs"
@@ -65,6 +67,7 @@ func main() {
 	jsonOut := flag.String("json", "", "write a machine-readable benchmark snapshot to `FILE` (tables 1 and 2)")
 	diffMode := flag.Bool("diff", false, "compare two -json snapshots given as `OLD NEW` arguments and report cube/product deltas")
 	check := flag.Bool("check", false, "run the semantic verification oracle on every encoding (tables 1 and 2); exit 1 with a shrunk repro on failure")
+	timeout := flag.Duration("timeout", 0, "bound the run's wall clock (0 = none)")
 	verbose := flag.Bool("v", false, "print a per-stage wall-clock summary to stderr")
 	var oc obs.Config
 	oc.Command = "tables"
@@ -79,13 +82,18 @@ func main() {
 	jWorkers = par.Workers(*jFlag)
 	memo = eval.NewCache()
 	checkEnabled = *check
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		runCtx, cancel = context.WithTimeout(runCtx, *timeout)
+		defer cancel()
+	}
 	session, serr := oc.Start()
 	if serr != nil {
 		fmt.Fprintln(os.Stderr, "tables:", serr)
 		os.Exit(1)
 	}
 	tracer = session.Tracer
-	httpSrv, herr := obshttp.Start(oc.HTTPAddr, obshttp.Options{})
+	httpSrv, herr := obshttp.StartContext(runCtx, oc.HTTPAddr, obshttp.Options{})
 	if herr != nil {
 		fmt.Fprintln(os.Stderr, "tables:", herr)
 		os.Exit(1)
@@ -202,7 +210,7 @@ func table1Compute(spec benchgen.Spec, seed int64, encBudget int) (*table1Row, e
 	// each writes disjoint fields of row, so they fan out as one unit per
 	// encoder. Under -j > 1 the wall-time columns overlap and are only
 	// meaningful relative to each other within one run.
-	_, err = par.Map(3, jWorkers, func(k int) (struct{}, error) {
+	_, err = par.MapContext(runCtx, 3, jWorkers, func(k int) (struct{}, error) {
 		var z struct{}
 		switch k {
 		case 0:
@@ -217,7 +225,7 @@ func table1Compute(spec benchgen.Spec, seed int64, encBudget int) (*table1Row, e
 			}); err != nil {
 				return z, err
 			}
-			novaCost, err := eval.Evaluate(prob, novaEnc, evalOpts)
+			novaCost, err := eval.EvaluateContext(runCtx, prob, novaEnc, evalOpts)
 			if err != nil {
 				return z, err
 			}
@@ -243,7 +251,7 @@ func table1Compute(spec benchgen.Spec, seed int64, encBudget int) (*table1Row, e
 			row.encCompleted = encRes.Completed
 		case 2:
 			t0 := time.Now()
-			picRes, err := core.Encode(prob, core.Options{
+			picRes, err := core.EncodeContext(runCtx, prob, core.Options{
 				Trace: tracer, Workers: jWorkers, Cache: memo})
 			if err != nil {
 				return z, fmt.Errorf("%s picola: %w", spec.Name, err)
@@ -258,7 +266,7 @@ func table1Compute(spec benchgen.Spec, seed int64, encBudget int) (*table1Row, e
 			}); err != nil {
 				return z, err
 			}
-			picCost, err := eval.Evaluate(prob, picRes.Encoding, evalOpts)
+			picCost, err := eval.EvaluateContext(runCtx, prob, picRes.Encoding, evalOpts)
 			if err != nil {
 				return z, err
 			}
@@ -351,12 +359,12 @@ func table2Compute(spec benchgen.Spec, seed int64) (*table2Row, error) {
 	// The three assignments only share the machine, which they read; fan
 	// them out one unit per encoder.
 	encoders := []stassign.Encoder{stassign.NovaIH, stassign.NovaIOH, stassign.Picola}
-	reps, err := par.Map(len(encoders), jWorkers, func(k int) (*stassign.Report, error) {
+	reps, err := par.MapContext(runCtx, len(encoders), jWorkers, func(k int) (*stassign.Report, error) {
 		o := stassign.Options{Encoder: encoders[k], Seed: seed, Workers: jWorkers, Cache: memo}
 		if encoders[k] == stassign.Picola {
 			o.Trace = tracer
 		}
-		rep, err := stassign.Assign(m, o)
+		rep, err := stassign.AssignContext(runCtx, m, o)
 		if err != nil {
 			return nil, fmt.Errorf("%s %s: %w", spec.Name, encoders[k], err)
 		}
@@ -476,7 +484,7 @@ func table3(only string) error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
-		full, err := core.EncodeAll(prob, core.Options{Workers: jWorkers, Cache: memo})
+		full, err := core.EncodeAllContext(runCtx, prob, core.Options{Workers: jWorkers, Cache: memo})
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
@@ -486,7 +494,7 @@ func table3(only string) error {
 			if nv == maxNV {
 				r = full
 			} else {
-				r, err = core.Encode(prob, core.Options{NV: nv, Workers: jWorkers, Cache: memo})
+				r, err = core.EncodeContext(runCtx, prob, core.Options{NV: nv, Workers: jWorkers, Cache: memo})
 				if err != nil {
 					return fmt.Errorf("%s nv=%d: %w", name, nv, err)
 				}
@@ -501,13 +509,13 @@ func table3(only string) error {
 			// is only cheap at narrow code spaces; wider rows print "-".
 			cubesCol := "-"
 			if nv <= 11 {
-				cost, err := eval.Evaluate(prob, r.Encoding, eval.Options{Cache: memo, Workers: jWorkers})
+				cost, err := eval.EvaluateContext(runCtx, prob, r.Encoding, eval.Options{Cache: memo, Workers: jWorkers})
 				if err != nil {
 					return err
 				}
 				cubesCol = fmt.Sprintf("%d", cost.Total)
 			}
-			min, _, err := stassign.MinimizeEncoded(m, r.Encoding)
+			min, _, err := stassign.MinimizeEncodedContext(runCtx, m, r.Encoding)
 			if err != nil {
 				return fmt.Errorf("%s nv=%d: %w", name, nv, err)
 			}
@@ -534,11 +542,13 @@ func table3(only string) error {
 // jWorkers is set from the shared -j flag; memo is the process-wide
 // minimization memo-cache every encoder and evaluator run shares
 // (memoized counts are pure functions of their key, so sharing never
-// changes a result); outFormat from -format.
+// changes a result); outFormat from -format; runCtx carries the
+// -timeout deadline into every row and encoder run.
 var (
 	jWorkers  = 1
 	memo      *eval.Cache
 	outFormat = report.Text
+	runCtx    = context.Background()
 	// checkEnabled runs the semantic verification oracle on every
 	// encoding produced by tables 1 and 2 (-check).
 	checkEnabled = false
@@ -587,7 +597,13 @@ var (
 func forEach[T any](specs []benchgen.Spec, fn func(benchgen.Spec) (T, error)) ([]T, error) {
 	pTotal.Set(int64(len(specs)))
 	pDone.Set(0)
-	return par.Map(len(specs), jWorkers, func(i int) (T, error) {
+	return par.MapContext(runCtx, len(specs), jWorkers, func(i int) (T, error) {
+		// Per-row deadline check: a cancelled sweep stops handing out rows
+		// and the harness reports the context error instead of a table.
+		var zero T
+		if err := ctxutil.Check(runCtx, "tables.row"); err != nil {
+			return zero, err
+		}
 		r, err := fn(specs[i])
 		pDone.Add(1)
 		return r, err
@@ -733,7 +749,7 @@ func table4(only string) error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
-		rep, err := stassign.Assign(m, stassign.Options{Encoder: stassign.Picola,
+		rep, err := stassign.AssignContext(runCtx, m, stassign.Options{Encoder: stassign.Picola,
 			Workers: jWorkers, Cache: memo})
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
@@ -742,7 +758,7 @@ func table4(only string) error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
-		minLow, _, err := stassign.MinimizeEncoded(m, low)
+		minLow, _, err := stassign.MinimizeEncodedContext(runCtx, m, low)
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}

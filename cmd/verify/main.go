@@ -19,16 +19,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
+	"picola"
 	"picola/internal/baseline/enc"
 	"picola/internal/baseline/nova"
 	"picola/internal/benchgen"
 	"picola/internal/consfile"
-	"picola/internal/core"
 	"picola/internal/eval"
 	"picola/internal/face"
 	"picola/internal/obs"
@@ -39,10 +40,12 @@ import (
 )
 
 // jWorkers and memo are the -j fan-out width and the process-wide
-// minimization memo-cache, set in main.
+// minimization memo-cache, set in main; runCtx carries the -timeout
+// deadline into every encoder run.
 var (
 	jWorkers = 1
 	memo     *eval.Cache
+	runCtx   = context.Background()
 )
 
 // encoderFunc produces an encoding for one instance.
@@ -55,8 +58,10 @@ var encoders = []struct {
 	name string
 	run  encoderFunc
 }{
+	// The picola entry goes through the public package: the audit then
+	// exercises the same surface callers use, not just the internal core.
 	{"picola", func(p *face.Problem, seed int64) (*face.Encoding, error) {
-		r, err := core.Encode(p, core.Options{Workers: jWorkers, Cache: memo})
+		r, err := picola.Encode(runCtx, p, picola.Options{Workers: jWorkers, Cache: memo})
 		if err != nil {
 			return nil, err
 		}
@@ -87,6 +92,7 @@ func main() {
 	maxSyms := flag.Int("maxsymbols", 10, "symbol-count bound for -random instances")
 	seed := flag.Int64("seed", 1, "seed for random instances and randomized encoders")
 	meta := flag.Bool("meta", true, "also check the metamorphic invariants")
+	timeout := flag.Duration("timeout", 0, "bound the run's wall clock (0 = none)")
 	jFlag := par.RegisterFlag(flag.CommandLine)
 	var oc obs.Config
 	oc.Command = "verify"
@@ -94,12 +100,17 @@ func main() {
 	flag.Parse()
 	jWorkers = par.Workers(*jFlag)
 	memo = eval.NewCache()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		runCtx, cancel = context.WithTimeout(runCtx, *timeout)
+		defer cancel()
+	}
 
 	session, err := oc.Start()
 	if err != nil {
 		fatal(err)
 	}
-	httpSrv, err := obshttp.Start(oc.HTTPAddr, obshttp.Options{})
+	httpSrv, err := obshttp.StartContext(runCtx, oc.HTTPAddr, obshttp.Options{})
 	if err != nil {
 		fatal(err)
 	}

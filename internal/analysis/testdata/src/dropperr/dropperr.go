@@ -5,6 +5,7 @@ package dropperr
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -28,9 +29,34 @@ func BadFlush(w io.Writer) {
 	bw.Flush() // want "error result of bw.Flush is dropped"
 }
 
+// BadCtx polls the context but ignores the verdict: a cancelled run
+// continues as if live, the exact bug the DESIGN.md §14 cancellation
+// contract forbids.
+func BadCtx(ctx context.Context) {
+	ctx.Err() // want "error result of ctx.Err is dropped"
+}
+
+// BadCtxDefer drops the final poll through defer.
+func BadCtxDefer(ctx context.Context) {
+	defer ctx.Err() // want "dropped by defer"
+}
+
 // Good propagates.
 func Good(path string) error {
 	return os.Remove(path)
+}
+
+// GoodCtx propagates the context verdict to the caller.
+func GoodCtx(ctx context.Context) error {
+	return ctx.Err()
+}
+
+// GoodCtxBranch acts on the verdict inline.
+func GoodCtxBranch(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("run cancelled: %w", err)
+	}
+	return nil
 }
 
 // GoodExplicit discards visibly.

@@ -78,7 +78,10 @@ func driveClassify(p *face.Problem, nv int, generic bool) (*encoder, [][]int, *o
 		for _, idx := range inf {
 			e.addGuide(idx, j)
 		}
-		col := e.solve(j)
+		col, err := e.solve(j)
+		if err != nil {
+			panic(err)
+		}
 		e.apply(col, j)
 	}
 	return e, perCol, rec
@@ -234,7 +237,11 @@ func benchClassifyFixture() (*encoder, int) {
 	j := nv - 2
 	for col := 0; col < j; col++ {
 		e.updateConstraints(col)
-		e.apply(e.solve(col), col)
+		c, err := e.solve(col)
+		if err != nil {
+			panic(err)
+		}
+		e.apply(c, col)
 	}
 	for _, t := range e.rows {
 		if !t.satisfied && !t.infeasible && t.unsat.Count() == 0 {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"picola/internal/face"
@@ -17,6 +18,13 @@ import (
 // that the area gain evaporates. The Table 3 harness (cmd/tables
 // -table 3) quantifies it on the benchmark suite.
 func EncodeAll(p *face.Problem, opts ...Options) (*Result, error) {
+	return EncodeAllContext(context.Background(), p, opts...)
+}
+
+// EncodeAllContext is EncodeAll under a run context; every per-length
+// Encode inherits the context's deadline checks, so a cancelled search
+// returns a wrapped context error and no encoding.
+func EncodeAllContext(ctx context.Context, p *face.Problem, opts ...Options) (*Result, error) {
 	var o Options
 	if len(opts) > 0 {
 		o = opts[0]
@@ -32,7 +40,7 @@ func EncodeAll(p *face.Problem, opts ...Options) (*Result, error) {
 	for nv := p.MinLength(); nv <= maxNV; nv++ {
 		vo := o
 		vo.NV = nv
-		r, err := Encode(p, vo)
+		r, err := EncodeContext(ctx, p, vo)
 		if err != nil {
 			return nil, err
 		}

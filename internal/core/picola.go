@@ -17,11 +17,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 	"time"
 
 	"picola/internal/cover"
+	"picola/internal/ctxutil"
 	"picola/internal/cube"
 	"picola/internal/eval"
 	"picola/internal/face"
@@ -200,6 +202,7 @@ type Result struct {
 
 // encoder carries the run state.
 type encoder struct {
+	ctx       context.Context
 	p         *face.Problem
 	opts      Options
 	n         int
@@ -236,6 +239,18 @@ type encoder struct {
 // portfolio of column-generation variants is tried and the best result by
 // the cube estimate kept (Options.Restarts).
 func Encode(p *face.Problem, opts ...Options) (*Result, error) {
+	return EncodeContext(context.Background(), p, opts...)
+}
+
+// EncodeContext is Encode under a run context. The deadline is checked
+// at every restart, column, column-scan move, polish pass, and
+// minimization boundary; a cancelled run returns a wrapped
+// context.Canceled/DeadlineExceeded error and never a partial or
+// different encoding (the cancellation contract, DESIGN.md §14).
+func EncodeContext(ctx context.Context, p *face.Problem, opts ...Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	t0 := time.Now()
 	defer func() { hEncode.Observe(int64(time.Since(t0))) }()
 	var o Options
@@ -261,7 +276,7 @@ func Encode(p *face.Problem, opts ...Options) (*Result, error) {
 		return nil, fmt.Errorf("core: code length %d exceeds 64", nv)
 	}
 	mEncodes.Inc()
-	best, bestScore, bestVariant, err := runPortfolio(p, o, nv, o.affordsExactCost(n, nv))
+	best, bestScore, bestVariant, err := runPortfolio(ctx, p, o, nv, o.affordsExactCost(n, nv))
 	if err != nil {
 		return nil, err
 	}
@@ -274,7 +289,9 @@ func Encode(p *face.Problem, opts ...Options) (*Result, error) {
 	}
 	// Only the winning variant gets the full refinement.
 	if !o.DisablePolish && n <= o.PolishMaxSymbols {
-		best.polish(20)
+		if err := best.polish(20); err != nil {
+			return nil, err
+		}
 	}
 	if !o.DisablePolish && o.affordsExactCost(n, nv) {
 		if err := best.exactPolish(o.ExactPolishBudget); err != nil {
@@ -306,13 +323,16 @@ func (o Options) affordsExactCost(n, nv int) bool {
 // concurrently; the reduction walks the ordered results and keeps the
 // lowest-scoring variant, ties to the smaller index — exactly the
 // sequential selection, whatever the completion order.
-func runPortfolio(p *face.Problem, o Options, nv int, exactSelect bool) (*encoder, int, int, error) {
+func runPortfolio(ctx context.Context, p *face.Problem, o Options, nv int, exactSelect bool) (*encoder, int, int, error) {
 	defer tPortfolio.Start()()
 	type variantRun struct {
 		e     *encoder
 		score int
 	}
-	runs, err := par.Map(o.Restarts, o.Workers, func(v int) (variantRun, error) {
+	runs, err := par.MapContext(ctx, o.Restarts, o.Workers, func(v int) (variantRun, error) {
+		if err := ctxutil.Check(ctx, "core.restart"); err != nil {
+			return variantRun{}, err
+		}
 		vo := o
 		switch v {
 		case 1:
@@ -321,11 +341,14 @@ func runPortfolio(p *face.Problem, o Options, nv int, exactSelect bool) (*encode
 			vo.GuideWeight = o.GuideWeight / 2
 		}
 		t0 := time.Now()
-		e := encodeOnce(p, vo, nv, v == 3, v)
+		e, err := encodeOnce(ctx, p, vo, nv, v == 3, v)
+		if err != nil {
+			return variantRun{}, err
+		}
 		score := 0
 		if exactSelect {
 			for i, c := range p.Constraints {
-				k, err := o.Cache.ConstraintCubes(e.enc, c)
+				k, err := o.Cache.ConstraintCubesContext(ctx, e.enc, c)
 				if err != nil {
 					return variantRun{}, err
 				}
@@ -371,9 +394,9 @@ func boolAttr(b bool) float64 {
 
 // encodeOnce runs one column-generation pass (plus a light estimate-based
 // polish) under the given variant options.
-func encodeOnce(p *face.Problem, o Options, nv int, startZero bool, variant int) *encoder {
+func encodeOnce(ctx context.Context, p *face.Problem, o Options, nv int, startZero bool, variant int) (*encoder, error) {
 	n := p.N()
-	e := &encoder{p: p, opts: o, n: n, nv: nv,
+	e := &encoder{ctx: ctx, p: p, opts: o, n: n, nv: nv,
 		enc: face.NewEncoding(n, nv), startZero: startZero, tr: o.Trace,
 		variant: variant}
 	for i, c := range p.Constraints {
@@ -381,6 +404,9 @@ func encodeOnce(p *face.Problem, o Options, nv int, startZero bool, variant int)
 	}
 	e.nOri = len(e.rows)
 	for j := 0; j < e.nv; j++ {
+		if err := ctxutil.Check(ctx, "core.column"); err != nil {
+			return nil, err
+		}
 		var t0 time.Time
 		if e.tr != nil {
 			t0 = time.Now()
@@ -388,7 +414,10 @@ func encodeOnce(p *face.Problem, o Options, nv int, startZero bool, variant int)
 		if !o.DisableClassify {
 			e.updateConstraints(j)
 		}
-		col := e.solve(j)
+		col, err := e.solve(j)
+		if err != nil {
+			return nil, err
+		}
 		e.apply(col, j)
 		mColumns.Inc()
 		if e.tr != nil {
@@ -404,9 +433,11 @@ func encodeOnce(p *face.Problem, o Options, nv int, startZero bool, variant int)
 		}
 	}
 	if !o.DisablePolish && n <= o.PolishMaxSymbols {
-		e.polish(4)
+		if err := e.polish(4); err != nil {
+			return nil, err
+		}
 	}
-	return e
+	return e, nil
 }
 
 // exactPolish refines the encoding under the exact minimized cube count:
@@ -492,7 +523,17 @@ func (e *encoder) exactPolish(budget int) error {
 // minimizer runs, so a cache hit and a miss consume budget identically
 // and the search trajectory is independent of the cache.
 func (e *encoder) exactCubes(c face.Constraint) (int, error) {
-	return e.opts.Cache.ConstraintCubes(e.enc, c)
+	return e.opts.Cache.ConstraintCubesContext(e.runCtx(), e.enc, c)
+}
+
+// runCtx is the encoder's run context; encoders built outside
+// EncodeContext (tests constructing the struct directly) fall back to
+// the background context.
+func (e *encoder) runCtx() context.Context {
+	if e.ctx == nil {
+		return context.Background()
+	}
+	return e.ctx
 }
 
 // polishFullRescore disables the spare-move dirty-set carry so every
@@ -592,6 +633,9 @@ func (ps *polishState) descend() error {
 	n := e.n
 	r := len(e.p.Constraints)
 	for pass := 0; pass < 8 && ps.evals < ps.budget; pass++ {
+		if err := ctxutil.Check(e.runCtx(), "core.exact_polish"); err != nil {
+			return err
+		}
 		improved := false
 		for a := 0; a < n && ps.evals < ps.budget; a++ {
 			ps.prepareSpareScan(a)
@@ -667,6 +711,9 @@ func (ps *polishState) descend() error {
 // next descent explores a different basin.
 func (ps *polishState) kick() error {
 	e := ps.e
+	if err := ctxutil.Check(e.runCtx(), "core.exact_polish"); err != nil {
+		return err
+	}
 	n := e.n
 	bestA, bestB, bestD := -1, -1, 1<<30
 	var bestCost []int
@@ -899,7 +946,7 @@ func partition(xs []uint64, bit uint64) int {
 // multiset of non-member codes, so a swap of two symbols can only change
 // constraints having one of them as a member — the evaluation is
 // incremental and never calls espresso.
-func (e *encoder) polish(maxPasses int) {
+func (e *encoder) polish(maxPasses int) error {
 	defer tPolish.Start()()
 	t0 := time.Now()
 	n := e.n
@@ -974,6 +1021,9 @@ func (e *encoder) polish(maxPasses int) {
 	}
 	passes := 0
 	for pass := 0; pass < maxPasses; pass++ {
+		if err := ctxutil.Check(e.runCtx(), "core.polish"); err != nil {
+			return err
+		}
 		passes++
 		improved := false
 		for a := 0; a < n; a++ {
@@ -1046,6 +1096,7 @@ func (e *encoder) polish(maxPasses int) {
 				"delta":   float64(after - before),
 			}})
 	}
+	return nil
 }
 
 // reclassifyFromScratch rebuilds every row's constraint-matrix state from
@@ -1528,7 +1579,7 @@ func (e *encoder) columnUniform(members face.Constraint, col int) (bool, int) {
 // the weighted sum of satisfied seed dichotomies (both flip directions,
 // strict improvement) until the column is a local optimum among valid
 // columns.
-func (e *encoder) solve(j int) face.Constraint {
+func (e *encoder) solve(j int) (face.Constraint, error) {
 	e.unsat = e.unsat[:0]
 	for _, t := range e.rows {
 		var u []int
@@ -1573,6 +1624,9 @@ func (e *encoder) solve(j int) face.Constraint {
 	scans, applied := 1, 0
 	maxMoves := 6*e.n + 8
 	for move := 0; move < maxMoves; move++ {
+		if err := ctxutil.Check(e.runCtx(), "core.column_scan"); err != nil {
+			return face.Constraint{}, err
+		}
 		// Scan per symbol rather than over the count map: the predicate is
 		// order-insensitive, but deterministic iteration keeps the whole
 		// loop replayable instruction for instruction.
@@ -1633,7 +1687,7 @@ func (e *encoder) solve(j int) face.Constraint {
 	}
 	mColumnScans.Add(int64(scans))
 	e.lastMoves, e.lastCost = applied, base
-	return col
+	return col, nil
 }
 
 func flip(col face.Constraint, s int) {

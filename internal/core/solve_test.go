@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -25,7 +26,10 @@ func TestSolveMaintainsClassCapacity(t *testing.T) {
 			p.AddConstraint(c)
 		}
 		nv := p.MinLength()
-		e := encodeOnce(p, Options{DisablePolish: true}.withDefaults(), nv, false, 0)
+		e, err := encodeOnce(context.Background(), p, Options{DisablePolish: true}.withDefaults(), nv, false, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
 		for j := 1; j <= nv; j++ {
 			classes := map[uint64]int{}
 			mask := uint64(1)<<uint(j) - 1
@@ -76,7 +80,10 @@ func TestGuideTracksOnlyOriginalMembers(t *testing.T) {
 		big.Add(s)
 	}
 	p.AddConstraint(big)
-	e := encodeOnce(p, Options{}.withDefaults(), p.MinLength(), false, 0)
+	e, err := encodeOnce(context.Background(), p, Options{}.withDefaults(), p.MinLength(), false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(e.rows) <= e.nOri {
 		t.Fatal("an infeasible constraint must spawn a guide row")
 	}

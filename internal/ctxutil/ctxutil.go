@@ -1,0 +1,38 @@
+// Package ctxutil centralizes the engine's cancellation protocol: every
+// deadline-check site in internal/{core,eval,espresso,exact,par} polls
+// the run context through Check, which wraps the context error with the
+// site name so a cancelled encode reports where it stopped while still
+// satisfying errors.Is(err, context.Canceled) / context.DeadlineExceeded.
+//
+// The contract the call sites uphold (DESIGN.md §14): a cancelled run
+// returns the wrapped sentinel error and nothing else — never a partial
+// or different encoding. Check is allocation-free on the happy path, so
+// it is safe inside the zero-alloc scoring and classify loops guarded by
+// the TestAllocs gates.
+package ctxutil
+
+import (
+	"context"
+	"fmt"
+)
+
+// Hook, when non-nil, observes every Check call with the site name
+// before the context is polled. It exists for the cancellation test
+// harness, which counts deadline-check sites on one run and then
+// cancels at the k-th site on the next; production code must leave it
+// nil. Installation must happen-before the run under test (the harness
+// sets it before calling into the engine and restores it after).
+var Hook func(site string)
+
+// Check polls ctx at a named deadline-check site. It returns nil when
+// the run may continue, and a wrapped context.Canceled or
+// context.DeadlineExceeded error when it may not.
+func Check(ctx context.Context, site string) error {
+	if Hook != nil {
+		Hook(site)
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("picola: run cancelled at %s: %w", site, err)
+	}
+	return nil
+}

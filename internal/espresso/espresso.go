@@ -10,6 +10,7 @@
 package espresso
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -17,6 +18,7 @@ import (
 
 	"picola/internal/cover"
 	"picola/internal/covering"
+	"picola/internal/ctxutil"
 	"picola/internal/cube"
 	"picola/internal/obs"
 )
@@ -141,6 +143,17 @@ func (a cost) less(b cost) bool {
 // F with On ⊆ F ⊆ On ∪ DC, irredundant and consisting of prime implicants
 // (relative to the heuristic). The input covers are not modified.
 func Minimize(f *Function, opts ...Options) (*cover.Cover, error) {
+	return MinimizeContext(context.Background(), f, opts...)
+}
+
+// MinimizeContext is Minimize under a run context: the deadline is
+// checked on entry and once per improvement iteration, and a cancelled
+// minimization returns a wrapped context.Canceled/DeadlineExceeded
+// error instead of a cover.
+func MinimizeContext(ctx context.Context, f *Function, opts ...Options) (*cover.Cover, error) {
+	if err := ctxutil.Check(ctx, "espresso.minimize"); err != nil {
+		return nil, err
+	}
 	var o Options
 	if len(opts) > 0 {
 		o = opts[0]
@@ -203,6 +216,9 @@ func Minimize(f *Function, opts ...Options) (*cover.Cover, error) {
 
 	best := coverCost(F)
 	for iter := 0; iter < o.MaxIterations; iter++ {
+		if err := ctxutil.Check(ctx, "espresso.iterate"); err != nil {
+			return nil, err
+		}
 		mIterations.Inc()
 		F = reduce(F, workDC, sc)
 		F = expand(F, off, sc)

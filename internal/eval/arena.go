@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"sync"
 
 	"picola/internal/cover"
@@ -65,10 +66,10 @@ func (s *scorer) build(e *face.Encoding, c face.Constraint) *cube.Domain {
 // build above fed to the count-only mirror of exact.Minimize.
 //
 //picola:hot
-func (s *scorer) exactCount(e *face.Encoding, c face.Constraint) (int, error) {
+func (s *scorer) exactCount(ctx context.Context, e *face.Encoding, c face.Constraint) (int, error) {
 	d := s.build(e, c)
 	s.fn = espresso.Function{D: d, On: &s.on, Off: &s.off}
-	return s.counter.Count(&s.fn, e.NV)
+	return s.counter.CountContext(ctx, &s.fn, e.NV)
 }
 
 // heurCount scores one constraint with the pooled espresso path. dc may
@@ -76,10 +77,10 @@ func (s *scorer) exactCount(e *face.Encoding, c face.Constraint) (int, error) {
 // (nil lets espresso derive it from On/Off as before); espresso clones
 // the ON cover and never mutates or retains Off/DC cubes, so the pooled
 // slab and a shared DC cover are both safe here.
-func (s *scorer) heurCount(e *face.Encoding, c face.Constraint, dc *cover.Cover) (int, error) {
+func (s *scorer) heurCount(ctx context.Context, e *face.Encoding, c face.Constraint, dc *cover.Cover) (int, error) {
 	d := s.build(e, c)
 	s.fn = espresso.Function{D: d, On: &s.on, Off: &s.off, DC: dc}
-	min, err := espresso.Minimize(&s.fn)
+	min, err := espresso.MinimizeContext(ctx, &s.fn)
 	if err != nil {
 		return 0, err
 	}

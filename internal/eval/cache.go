@@ -1,10 +1,12 @@
 package eval
 
 import (
+	"context"
 	"sync"
 	"time"
 
 	"picola/internal/cover"
+	"picola/internal/ctxutil"
 	"picola/internal/exact"
 	"picola/internal/face"
 	"picola/internal/obs"
@@ -95,18 +97,28 @@ func (c *Cache) Len() int {
 // ConstraintCubes is the memoized ConstraintCubes: exact minimization
 // when the code space allows it, the espresso heuristic beyond.
 func (c *Cache) ConstraintCubes(e *face.Encoding, con face.Constraint) (int, error) {
-	return c.cubes(e, con, false)
+	return c.constraintCubes(context.Background(), e, con, false)
+}
+
+// ConstraintCubesContext is ConstraintCubes under a run context: the
+// deadline is checked at the minimization boundary and a cancelled call
+// returns a wrapped context error instead of a count.
+func (c *Cache) ConstraintCubesContext(ctx context.Context, e *face.Encoding, con face.Constraint) (int, error) {
+	return c.constraintCubes(ctx, e, con, false)
 }
 
 // ConstraintCubesHeuristic is the memoized ConstraintCubesHeuristic
 // (espresso regardless of size — the ENC baseline's evaluator).
 func (c *Cache) ConstraintCubesHeuristic(e *face.Encoding, con face.Constraint) (int, error) {
-	return c.cubes(e, con, true)
+	return c.constraintCubes(context.Background(), e, con, true)
 }
 
-func (c *Cache) cubes(e *face.Encoding, con face.Constraint, heuristic bool) (int, error) {
+func (c *Cache) constraintCubes(ctx context.Context, e *face.Encoding, con face.Constraint, heuristic bool) (int, error) {
 	if c == nil {
-		return minimizeConstraint(e, con, heuristic)
+		return minimizeConstraint(ctx, e, con, heuristic)
+	}
+	if err := ctxutil.Check(ctx, "eval.minimize"); err != nil {
+		return 0, err
 	}
 	t0 := time.Now()
 	defer func() { hCacheLookup.Observe(int64(time.Since(t0))) }()
@@ -122,7 +134,7 @@ func (c *Cache) cubes(e *face.Encoding, con face.Constraint, heuristic bool) (in
 	defer keyPool.Put(kb)
 	if !kb.cacheKey(e, con, heuristic) {
 		mCacheBypass.Inc()
-		return minimizeConstraint(e, con, heuristic)
+		return minimizeConstraint(ctx, e, con, heuristic)
 	}
 	sh := &c.shards[fnvShard(kb.key)]
 	sh.mu.RLock()
@@ -133,7 +145,7 @@ func (c *Cache) cubes(e *face.Encoding, con face.Constraint, heuristic bool) (in
 		updateRate()
 		return k, nil
 	}
-	k, err := c.minimizeWarm(e, con, heuristic, kb)
+	k, err := c.minimizeWarm(ctx, e, con, heuristic, kb)
 	if err != nil {
 		return 0, err
 	}
@@ -166,7 +178,7 @@ func updateRate() {
 // request's (nv, used-codes) signature. Counts are identical to
 // minimizeConstraint — the warm layer only changes how the same
 // minimization input is assembled.
-func (c *Cache) minimizeWarm(e *face.Encoding, con face.Constraint, heuristic bool, kb *keyBuf) (int, error) {
+func (c *Cache) minimizeWarm(ctx context.Context, e *face.Encoding, con face.Constraint, heuristic bool, kb *keyBuf) (int, error) {
 	mConstraintCubes.Inc()
 	t0 := time.Now()
 	defer func() { hMinimize.Observe(int64(time.Since(t0))) }()
@@ -174,10 +186,10 @@ func (c *Cache) minimizeWarm(e *face.Encoding, con face.Constraint, heuristic bo
 	defer scorerPool.Put(s)
 	if !heuristic && e.NV <= exact.MaxInputs {
 		mExact.Inc()
-		return s.exactCount(e, con)
+		return s.exactCount(ctx, e, con)
 	}
 	mHeuristic.Inc()
-	return s.heurCount(e, con, c.dcCover(kb, e))
+	return s.heurCount(ctx, e, con, c.dcCover(kb, e))
 }
 
 // fnvShard hashes the key (FNV-1a) onto a shard index.

@@ -6,9 +6,11 @@
 package eval
 
 import (
+	"context"
 	"time"
 
 	"picola/internal/cover"
+	"picola/internal/ctxutil"
 	"picola/internal/cube"
 	"picola/internal/espresso"
 	"picola/internal/exact"
@@ -66,7 +68,7 @@ func ConstraintFunction(e *face.Encoding, c face.Constraint) *espresso.Function 
 // spaces beyond the exact minimizer's input limit fall back to the
 // espresso heuristic. A satisfied constraint costs exactly one cube.
 func ConstraintCubes(e *face.Encoding, c face.Constraint) (int, error) {
-	return minimizeConstraint(e, c, false)
+	return minimizeConstraint(context.Background(), e, c, false)
 }
 
 // ConstraintCubesHeuristic is ConstraintCubes evaluated with the espresso
@@ -74,14 +76,18 @@ func ConstraintCubes(e *face.Encoding, c face.Constraint) (int, error) {
 // ENC is slow precisely because it runs full logic minimization inside
 // its search loop, and that property is part of what Table I reproduces.
 func ConstraintCubesHeuristic(e *face.Encoding, c face.Constraint) (int, error) {
-	return minimizeConstraint(e, c, true)
+	return minimizeConstraint(context.Background(), e, c, true)
 }
 
 // minimizeConstraint runs the actual minimization behind ConstraintCubes
 // (heuristic = false: exact within the input limit, espresso beyond) and
 // ConstraintCubesHeuristic (heuristic = true: espresso always). It is the
-// single compute path Cache memoizes.
-func minimizeConstraint(e *face.Encoding, c face.Constraint, heuristic bool) (int, error) {
+// single compute path Cache memoizes. ctx is checked at the minimization
+// boundary (here and inside the minimizers it dispatches to).
+func minimizeConstraint(ctx context.Context, e *face.Encoding, c face.Constraint, heuristic bool) (int, error) {
+	if err := ctxutil.Check(ctx, "eval.minimize"); err != nil {
+		return 0, err
+	}
 	mConstraintCubes.Inc()
 	t0 := time.Now()
 	defer func() { hMinimize.Observe(int64(time.Since(t0))) }()
@@ -92,11 +98,11 @@ func minimizeConstraint(e *face.Encoding, c face.Constraint, heuristic bool) (in
 		mExact.Inc()
 		s := scorerPool.Get().(*scorer)
 		defer scorerPool.Put(s)
-		return s.exactCount(e, c)
+		return s.exactCount(ctx, e, c)
 	}
 	mHeuristic.Inc()
 	f := ConstraintFunction(e, c)
-	min, err := espresso.Minimize(f)
+	min, err := espresso.MinimizeContext(ctx, f)
 	if err != nil {
 		return 0, err
 	}
@@ -132,6 +138,14 @@ type Options struct {
 
 // Evaluate scores the encoding against every constraint of the problem.
 func Evaluate(p *face.Problem, e *face.Encoding, opts ...Options) (*Cost, error) {
+	return EvaluateContext(context.Background(), p, e, opts...)
+}
+
+// EvaluateContext is Evaluate under a run context: the deadline is
+// checked per constraint task and at every minimization boundary below,
+// and a cancelled evaluation returns a wrapped context error instead of
+// a Cost.
+func EvaluateContext(ctx context.Context, p *face.Problem, e *face.Encoding, opts ...Options) (*Cost, error) {
 	t0 := time.Now()
 	defer func() {
 		d := time.Since(t0)
@@ -146,7 +160,7 @@ func Evaluate(p *face.Problem, e *face.Encoding, opts ...Options) (*Cost, error)
 		cubes     int
 		satisfied bool
 	}
-	rs, err := par.Map(len(p.Constraints), o.Workers, func(i int) (conCost, error) {
+	rs, err := par.MapContext(ctx, len(p.Constraints), o.Workers, func(i int) (conCost, error) {
 		con := p.Constraints[i]
 		satisfied := e.Satisfied(con)
 		if satisfied && con.Count() > 0 {
@@ -156,7 +170,7 @@ func Evaluate(p *face.Problem, e *face.Encoding, opts ...Options) (*Cost, error)
 			mSatShortcut.Inc()
 			return conCost{cubes: 1, satisfied: true}, nil
 		}
-		k, err := o.Cache.ConstraintCubes(e, con)
+		k, err := o.Cache.constraintCubes(ctx, e, con, false)
 		if err != nil {
 			return conCost{}, err
 		}

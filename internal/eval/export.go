@@ -1,0 +1,142 @@
+package eval
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// CacheEntry is one memoized constraint minimization in portable form:
+// the canonical (policy, nv, used-bitset, ON-bitset) signature the Cache
+// keys on, plus the minimized cube count. It is the unit internal/ir
+// serializes, so a warmed cache can be shipped between processes.
+type CacheEntry struct {
+	// Heuristic marks the espresso-policy entry (ConstraintCubesHeuristic);
+	// false is the exact policy.
+	Heuristic bool
+	// NV is the code length; the bitsets span the 2^NV code space.
+	NV int
+	// Used is the used-code bitset (⌈2^NV/64⌉ words, little-endian bit
+	// order); its complement is the don't-care set.
+	Used []uint64
+	// On is the ON-set bitset: the member codes.
+	On []uint64
+	// Cubes is the memoized minimized product-term count.
+	Cubes int
+}
+
+// entryWords returns the bitset word count of a code space of nv bits.
+func entryWords(nv int) int {
+	return ((1 << uint(nv)) + 63) / 64
+}
+
+// parseCacheKey decodes one interned key (the keyBuf.cacheKey layout:
+// tag byte, nv byte, used words LE, on words LE) into an entry.
+func parseCacheKey(key string, cubes int) (CacheEntry, bool) {
+	if len(key) < 2 {
+		return CacheEntry{}, false
+	}
+	nv := int(key[1])
+	w := entryWords(nv)
+	if len(key) != 2+16*w {
+		return CacheEntry{}, false
+	}
+	ent := CacheEntry{
+		Heuristic: key[0] != 0,
+		NV:        nv,
+		Used:      make([]uint64, w),
+		On:        make([]uint64, w),
+		Cubes:     cubes,
+	}
+	for i := 0; i < w; i++ {
+		ent.Used[i] = binary.LittleEndian.Uint64([]byte(key[2+8*i : 10+8*i]))
+		ent.On[i] = binary.LittleEndian.Uint64([]byte(key[2+8*w+8*i : 10+8*w+8*i]))
+	}
+	return ent, true
+}
+
+// buildCacheKey is the inverse of parseCacheKey: the interned key bytes
+// of an entry's signature.
+func buildCacheKey(ent CacheEntry) []byte {
+	w := entryWords(ent.NV)
+	key := make([]byte, 2, 2+16*w)
+	if ent.Heuristic {
+		key[0] = 1
+	}
+	key[1] = byte(ent.NV)
+	for _, words := range [][]uint64{ent.Used, ent.On} {
+		for _, v := range words {
+			key = binary.LittleEndian.AppendUint64(key, v)
+		}
+	}
+	return key
+}
+
+// Export snapshots every memoized entry in a deterministic order (sorted
+// by raw key bytes). A nil cache exports nothing. Concurrent inserts may
+// or may not be included; each exported entry is individually consistent.
+func (c *Cache) Export() []CacheEntry {
+	if c == nil {
+		return nil
+	}
+	var entries []CacheEntry
+	var keys []string
+	var vals []int
+	for i := range c.shards {
+		sh := &c.shards[i]
+		klo := len(keys)
+		sh.mu.RLock()
+		for k := range sh.m {
+			keys = append(keys, k)
+		}
+		for _, k := range keys[klo:] {
+			vals = append(vals, sh.m[k])
+		}
+		sh.mu.RUnlock()
+	}
+	for i, k := range keys {
+		if ent, ok := parseCacheKey(k, vals[i]); ok {
+			entries = append(entries, ent)
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := buildCacheKey(entries[i]), buildCacheKey(entries[j])
+		return string(a) < string(b)
+	})
+	return entries
+}
+
+// Import installs entries into the cache, skipping invalid signatures,
+// entries already present, and shards at capacity. It returns the number
+// inserted. Importing never changes an existing memoized value: the
+// first entry for a key wins, matching the compute path's semantics.
+func (c *Cache) Import(entries []CacheEntry) (int, error) {
+	if c == nil {
+		return 0, fmt.Errorf("eval: cannot import into a nil cache")
+	}
+	inserted := 0
+	for i, ent := range entries {
+		if ent.NV < 1 || ent.NV > cacheMaxNV {
+			return inserted, fmt.Errorf("eval: entry %d: nv %d outside [1, %d]", i, ent.NV, cacheMaxNV)
+		}
+		if w := entryWords(ent.NV); len(ent.Used) != w || len(ent.On) != w {
+			return inserted, fmt.Errorf("eval: entry %d: bitset words %d/%d, want %d",
+				i, len(ent.Used), len(ent.On), w)
+		}
+		if ent.Cubes < 0 {
+			return inserted, fmt.Errorf("eval: entry %d: negative cube count %d", i, ent.Cubes)
+		}
+		key := buildCacheKey(ent)
+		sh := &c.shards[fnvShard(key)]
+		sh.mu.Lock()
+		if _, exists := sh.m[string(key)]; !exists && len(sh.m) < cacheShardCap {
+			sh.m[string(key)] = ent.Cubes
+			inserted++
+		}
+		sh.mu.Unlock()
+	}
+	if inserted > 0 {
+		gCacheLen.Set(int64(c.Len()))
+	}
+	return inserted, nil
+}

@@ -1,11 +1,13 @@
 package exact
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"picola/internal/cover"
 	"picola/internal/covering"
+	"picola/internal/ctxutil"
 	"picola/internal/espresso"
 )
 
@@ -46,6 +48,16 @@ type Counter struct {
 // Count returns the minimum cover cardinality of f, exactly as
 // len(Minimize(f, inputs).Cubes).
 func (ct *Counter) Count(f *espresso.Function, inputs int) (int, error) {
+	return ct.CountContext(context.Background(), f, inputs)
+}
+
+// CountContext is Count under a run context: the deadline is checked at
+// the minimization boundary, and a cancelled call returns a wrapped
+// context error instead of a count.
+func (ct *Counter) CountContext(ctx context.Context, f *espresso.Function, inputs int) (int, error) {
+	if err := ctxutil.Check(ctx, "exact.count"); err != nil {
+		return 0, err
+	}
 	mMinimize.Inc()
 	t0 := time.Now()
 	n, err := ct.count(f, inputs)

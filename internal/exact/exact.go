@@ -11,11 +11,13 @@
 package exact
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"picola/internal/cover"
 	"picola/internal/covering"
+	"picola/internal/ctxutil"
 	"picola/internal/cube"
 	"picola/internal/espresso"
 	"picola/internal/obs"
@@ -50,6 +52,16 @@ type icube struct {
 // inputs tells how many leading variables are inputs; pass f.D.NumVars()
 // for a pure single-output function over a binary domain.
 func Minimize(f *espresso.Function, inputs int) (*cover.Cover, error) {
+	return MinimizeContext(context.Background(), f, inputs)
+}
+
+// MinimizeContext is Minimize under a run context: the deadline is
+// checked at the minimization boundary, and a cancelled call returns a
+// wrapped context error instead of a cover.
+func MinimizeContext(ctx context.Context, f *espresso.Function, inputs int) (*cover.Cover, error) {
+	if err := ctxutil.Check(ctx, "exact.minimize"); err != nil {
+		return nil, err
+	}
 	mMinimize.Inc()
 	t0 := time.Now()
 	defer func() {

@@ -1,0 +1,50 @@
+package ir
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzIRRoundTrip is the decoder's safety and canonicality fuzz target:
+// arbitrary input must never panic, and any input the decoder accepts
+// must re-marshal canonically — unmarshal(marshal(unmarshal(b))) is a
+// fixpoint both as a value and as bytes.
+func FuzzIRRoundTrip(f *testing.F) {
+	for _, g := range goldenFiles() {
+		b, err := Marshal(g)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	// Structural near-misses: bad magic, bare header, truncated table.
+	f.Add([]byte("PICOLAIR"))
+	f.Add([]byte("PICOLAIR\x01\x00\x00\x00\x00\x00\x00\x00"))
+	f.Add([]byte("XXNOTIRX\x01\x00\x00\x00\x01\x00\x00\x00"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		v, err := Unmarshal(b)
+		if err != nil {
+			return // rejected input: only requirement is no panic
+		}
+		canon, err := Marshal(v)
+		if err != nil {
+			t.Fatalf("accepted input failed to re-marshal: %v", err)
+		}
+		v2, err := Unmarshal(canon)
+		if err != nil {
+			t.Fatalf("canonical bytes failed to unmarshal: %v", err)
+		}
+		if !reflect.DeepEqual(v, v2) {
+			t.Fatalf("unmarshal∘marshal is not the identity:\n%+v\nvs\n%+v", v, v2)
+		}
+		canon2, err := Marshal(v2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(canon, canon2) {
+			t.Fatal("marshal is not canonical: second marshal differs")
+		}
+	})
+}

@@ -1,0 +1,61 @@
+package ir
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// -update regenerates testdata/ir/*.bin from the in-code sample values.
+// The committed files are the wire-format compatibility contract: once a
+// vector is checked in, Marshal must keep producing it byte for byte.
+var update = flag.Bool("update", false, "rewrite golden IR vectors")
+
+func goldenFiles() map[string]*File {
+	full := sampleFile()
+	return map[string]*File{
+		"problem_only.bin": {Problem: full.Problem},
+		"run.bin":          {Problem: full.Problem, Encoding: full.Encoding, Audit: full.Audit},
+		"cache.bin":        {CacheEntries: full.CacheEntries},
+		"full.bin":         full,
+	}
+}
+
+func TestGoldenVectors(t *testing.T) {
+	for name, f := range goldenFiles() {
+		t.Run(name, func(t *testing.T) {
+			path := filepath.Join("testdata", "ir", name)
+			got, err := Marshal(f)
+			if err != nil {
+				t.Fatalf("Marshal: %v", err)
+			}
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden vector (run: go test ./internal/ir -run TestGoldenVectors -update): %v", err)
+			}
+			if string(got) != string(want) {
+				t.Fatalf("%s: marshal output drifted from the committed vector (%d vs %d bytes); "+
+					"the picola-ir/v1 wire format must stay byte-stable", name, len(got), len(want))
+			}
+			// The committed bytes must also decode back to the sample value.
+			dec, err := Unmarshal(want)
+			if err != nil {
+				t.Fatalf("golden vector no longer unmarshals: %v", err)
+			}
+			if !reflect.DeepEqual(dec, f) {
+				t.Errorf("golden vector decodes to\n%+v\nwant\n%+v", dec, f)
+			}
+		})
+	}
+}

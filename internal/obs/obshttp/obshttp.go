@@ -14,12 +14,14 @@
 package obshttp
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sync"
 
 	"picola/internal/obs"
 )
@@ -99,6 +101,10 @@ func Handler(o Options) http.Handler {
 type Server struct {
 	ln  net.Listener
 	srv *http.Server
+
+	closeOnce sync.Once
+	closeErr  error
+	done      chan struct{} // closed by Close; releases the ctx watcher
 }
 
 // Start serves the introspection surface on addr. An empty addr returns
@@ -106,6 +112,14 @@ type Server struct {
 // commands can call Start/Close unconditionally. Pass host:0 to bind an
 // ephemeral port; Addr reports the bound address.
 func Start(addr string, o Options) (*Server, error) {
+	return StartContext(context.Background(), addr, o)
+}
+
+// StartContext is Start bound to a context: cancelling ctx shuts the
+// server down (equivalent to Close), so a -timeout run's introspection
+// server dies with the run instead of outliving it. Close remains safe
+// to call as well; whichever comes first wins.
+func StartContext(ctx context.Context, addr string, o Options) (*Server, error) {
 	if addr == "" {
 		return nil, nil
 	}
@@ -113,13 +127,22 @@ func Start(addr string, o Options) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{ln: ln, srv: &http.Server{Handler: Handler(o)}}
+	s := &Server{ln: ln, srv: &http.Server{Handler: Handler(o)}, done: make(chan struct{})}
 	go func() {
 		// Serve returns http.ErrServerClosed after Close; a listener that
 		// dies earlier takes the process's introspection down with it,
 		// which the liveness probe surfaces — nothing to handle here.
 		_ = s.srv.Serve(ln)
 	}()
+	if ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				_ = s.Close()
+			case <-s.done:
+			}
+		}()
+	}
 	return s, nil
 }
 
@@ -139,10 +162,14 @@ func (s *Server) Close() error {
 	if s == nil {
 		return nil
 	}
-	lerr := s.ln.Close()
-	err := s.srv.Close()
-	if err == nil && lerr != nil && !errors.Is(lerr, net.ErrClosed) {
-		err = lerr
-	}
-	return err
+	s.closeOnce.Do(func() {
+		close(s.done)
+		lerr := s.ln.Close()
+		err := s.srv.Close()
+		if err == nil && lerr != nil && !errors.Is(lerr, net.ErrClosed) {
+			err = lerr
+		}
+		s.closeErr = err
+	})
+	return s.closeErr
 }

@@ -1,6 +1,7 @@
 package obshttp
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -157,4 +158,53 @@ func TestCloseReleasesPort(t *testing.T) {
 		t.Fatalf("rebind after Close: %v", err)
 	}
 	_ = s2.Close()
+}
+
+// TestStartContextCancelShutsDown is the -timeout regression test: when
+// the run context dies, the introspection server must shut down with it
+// instead of holding the port for the life of the process.
+func TestStartContextCancelShutsDown(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s, err := StartContext(ctx, "127.0.0.1:0", Options{Metrics: obs.NewMetrics(), Runs: obs.NewRunRing(8)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+	base := "http://" + s.Addr()
+	if code, _ := get(t, base+"/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz before cancel = %d", code)
+	}
+	cancel()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := http.Get(base + "/healthz"); err != nil {
+			break // port released: the watcher closed the server
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server still serving 5s after context cancellation")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// Close after the ctx watcher already shut down must stay a no-op.
+	if err := s.Close(); err != nil {
+		t.Errorf("Close after ctx shutdown: %v", err)
+	}
+}
+
+// TestStartContextCloseFirst covers the opposite race: an explicit Close
+// releases the ctx watcher goroutine instead of leaking it until cancel.
+func TestStartContextCloseFirst(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s, err := StartContext(ctx, "127.0.0.1:0", Options{Metrics: obs.NewMetrics(), Runs: obs.NewRunRing(8)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
 }

@@ -19,6 +19,7 @@ import (
 	"runtime"
 	"sync"
 
+	"picola/internal/ctxutil"
 	"picola/internal/obs"
 )
 
@@ -67,6 +68,17 @@ type panicked struct {
 // workers ≤ 1 (or n ≤ 1) runs inline on the caller, byte-for-byte the
 // sequential loop.
 func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	return MapContext(context.Background(), n, workers, fn)
+}
+
+// MapContext is Map under an external context: cancelling ctx stops
+// handing out not-yet-started tasks (tasks already running finish, as
+// with an fn error) and makes the call return a wrapped
+// context.Canceled/DeadlineExceeded error instead of results. The
+// external check runs between tasks on the inline path and after the
+// pool drains on the parallel path, so a cancelled call never returns a
+// partially zero-filled result slice as success.
+func MapContext[T any](ctx context.Context, n, workers int, fn func(i int) (T, error)) ([]T, error) {
 	if n <= 0 {
 		return nil, nil
 	}
@@ -79,6 +91,9 @@ func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
 		mTasks.Add(int64(n))
 		var err error
 		for i := 0; i < n; i++ {
+			if err = ctxutil.Check(ctx, "par.map"); err != nil {
+				return nil, err
+			}
 			results[i], err = fn(i)
 			if err != nil {
 				return nil, err
@@ -91,7 +106,8 @@ func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
 	gLastW.Set(int64(workers))
 	defer tMap.Start()()
 
-	ctx, cancel := context.WithCancel(context.Background())
+	outer := ctx
+	ctx, cancel := context.WithCancel(outer)
 	defer cancel()
 	errs := make([]error, n)
 	panics := make([]*panicked, n)
@@ -127,6 +143,12 @@ feed:
 		if errs[i] != nil {
 			return nil, errs[i]
 		}
+	}
+	// External cancellation may have skipped handed-out tasks without any
+	// task recording an error; check the caller's context last so those
+	// zero values are never reported as success.
+	if err := ctxutil.Check(outer, "par.map"); err != nil {
+		return nil, err
 	}
 	return results, nil
 }

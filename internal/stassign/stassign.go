@@ -11,6 +11,7 @@
 package stassign
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -117,6 +118,13 @@ type Report struct {
 
 // Assign runs the full state-assignment flow on m.
 func Assign(m *kiss.FSM, o Options) (*Report, error) {
+	return AssignContext(context.Background(), m, o)
+}
+
+// AssignContext is Assign under a run context: the encode and minimize
+// stages inherit the context's deadline checks, so a cancelled flow
+// returns a wrapped context error and no report.
+func AssignContext(ctx context.Context, m *kiss.FSM, o Options) (*Report, error) {
 	start := time.Now()
 	if err := m.Validate(); err != nil {
 		return nil, err
@@ -135,7 +143,7 @@ func Assign(m *kiss.FSM, o Options) (*Report, error) {
 		EncCompleted: true,
 	}
 	stopEncode := tEncode.Start()
-	e, err := encodeStates(m, prob, o, rep)
+	e, err := encodeStates(ctx, m, prob, o, rep)
 	stopEncode()
 	if err != nil {
 		return nil, err
@@ -148,7 +156,7 @@ func Assign(m *kiss.FSM, o Options) (*Report, error) {
 		}
 	}
 	stopMin := tMinimize.Start()
-	min, d, err := MinimizeEncoded(m, e)
+	min, d, err := MinimizeEncodedContext(ctx, m, e)
 	stopMin()
 	if err != nil {
 		return nil, err
@@ -162,14 +170,14 @@ func Assign(m *kiss.FSM, o Options) (*Report, error) {
 	return rep, nil
 }
 
-func encodeStates(m *kiss.FSM, prob *face.Problem, o Options, rep *Report) (*face.Encoding, error) {
+func encodeStates(ctx context.Context, m *kiss.FSM, prob *face.Problem, o Options, rep *Report) (*face.Encoding, error) {
 	switch o.Encoder {
 	case Picola:
 		// The exact-cost polish optimizes the constraint-cube metric,
 		// which is a proxy here — the flow minimizes the full encoded
 		// machine afterwards — so the cheap estimate-based refinement
 		// alone keeps the tool's runtime advantage (paper Table II).
-		r, err := core.Encode(prob, core.Options{ExactPolishBudget: -1, Trace: o.Trace,
+		r, err := core.EncodeContext(ctx, prob, core.Options{ExactPolishBudget: -1, Trace: o.Trace,
 			Workers: o.Workers, Cache: o.Cache})
 		if err != nil {
 			return nil, err
@@ -408,12 +416,18 @@ func copyInputs(d *cube.Domain, bin *cube.Domain, row, u cube.Cube, ni int) {
 // MinimizeEncoded builds the encoded machine's function and minimizes it,
 // returning the minimized cover and its domain.
 func MinimizeEncoded(m *kiss.FSM, e *face.Encoding) (*cover.Cover, *cube.Domain, error) {
+	return MinimizeEncodedContext(context.Background(), m, e)
+}
+
+// MinimizeEncodedContext is MinimizeEncoded under a run context; the
+// deadline is checked at the espresso minimization boundary.
+func MinimizeEncodedContext(ctx context.Context, m *kiss.FSM, e *face.Encoding) (*cover.Cover, *cube.Domain, error) {
 	d, on, dc, off, err := BuildEncoded(m, e)
 	if err != nil {
 		return nil, nil, err
 	}
 	f := &espresso.Function{D: d, On: on, DC: dc, Off: off}
-	min, err := espresso.Minimize(f)
+	min, err := espresso.MinimizeContext(ctx, f)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,0 +1,141 @@
+package picola
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// renderEncodeResult reproduces cmd/picola's stdout (codes block plus
+// -eval block) from a public-API Result. The parity test below pins the
+// two to the byte: the CLI is a thin shell over picola.Encode and must
+// not drift from it.
+func renderEncodeResult(p *Problem, res *Result) []byte {
+	var buf bytes.Buffer
+	for s := 0; s < p.N(); s++ {
+		fmt.Fprintf(&buf, "%-12s %s\n", p.Names[s], res.Encoding.CodeString(s))
+	}
+	c := res.Cost
+	fmt.Fprintf(&buf, "\nconstraints: %d  satisfied: %d  cubes: %d (weighted %d)\n",
+		len(p.Constraints), c.SatisfiedCount, c.Total, c.WeightedTotal)
+	for i, k := range c.Cubes {
+		status := "satisfied"
+		if !res.Encoding.Satisfied(p.Constraints[i]) {
+			status = "violated"
+		}
+		fmt.Fprintf(&buf, "  %s  cubes=%d  %s\n", p.Constraints[i], k, status)
+	}
+	return buf.Bytes()
+}
+
+// TestPublicAPICLIParity encodes the bundled example problems through
+// picola.Encode in-process and through the real cmd/picola binary in a
+// separate process, per algorithm, and requires byte-identical output.
+func TestPublicAPICLIParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go run per case")
+	}
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	files := []string{
+		filepath.Join("testdata", "figure1.cons"),
+		filepath.Join("testdata", "infeasible.cons"),
+	}
+	for _, file := range files {
+		for _, algo := range []string{"picola", "nova", "enc", "all"} {
+			t.Run(filepath.Base(file)+"/"+algo, func(t *testing.T) {
+				b, err := os.ReadFile(file)
+				if err != nil {
+					t.Fatal(err)
+				}
+				p, err := ParseProblemString(string(b))
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := Encode(context.Background(), p, Options{
+					Algorithm: algo, Seed: 1, Workers: 2, Cache: NewCache(), Evaluate: true,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := renderEncodeResult(p, res)
+
+				cmd := exec.Command(goBin, "run", "./cmd/picola",
+					"-algo", algo, "-seed", "1", "-j", "2", file)
+				var out, stderr bytes.Buffer
+				cmd.Stdout = &out
+				cmd.Stderr = &stderr
+				if err := cmd.Run(); err != nil {
+					t.Fatalf("cmd/picola: %v\n%s", err, stderr.String())
+				}
+				if !bytes.Equal(out.Bytes(), want) {
+					t.Errorf("public API and CLI output differ:\n--- picola.Encode ---\n%s\n--- cmd/picola ---\n%s",
+						want, out.String())
+				}
+			})
+		}
+	}
+}
+
+// TestPublicAPIRunRoundTrip closes the loop between Encode and the IR
+// layer: a full run marshalled with MarshalRun and decoded back carries
+// the same problem, encoding, verdicts and cost.
+func TestPublicAPIRunRoundTrip(t *testing.T) {
+	b, err := os.ReadFile(filepath.Join("testdata", "figure1.cons"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ParseProblemString(string(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Encode(context.Background(), p, Options{Workers: 1, Evaluate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := MarshalRun(p, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, res2, err := UnmarshalRun(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := renderEncodeResult(p2, res2), renderEncodeResult(p, res); !bytes.Equal(got, want) {
+		t.Errorf("IR round-trip changed the run:\n%s\nvs\n%s", got, want)
+	}
+	// Problem-only round-trip through the convenience wrappers.
+	pb, err := MarshalProblem(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p3, err := UnmarshalProblem(pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3.String() != p.String() {
+		t.Errorf("problem round-trip drifted:\n%s\nvs\n%s", p3, p)
+	}
+	// Cache export/import through the public wrappers.
+	cache := NewCache()
+	if _, err := Encode(context.Background(), p, Options{Workers: 1, Cache: cache, Evaluate: true}); err != nil {
+		t.Fatal(err)
+	}
+	cb, err := ExportCache(cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := NewCache()
+	if _, err := ImportCache(fresh, cb); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Len() != cache.Len() {
+		t.Errorf("cache import kept %d of %d entries", fresh.Len(), cache.Len())
+	}
+}

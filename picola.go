@@ -1,0 +1,336 @@
+// Package picola is the stable public surface of the repository: face-
+// constrained encoding of symbols using minimum code length, behind one
+// context-aware entry point.
+//
+// Encode runs any of the bundled encoders (the PICOLA column algorithm,
+// the NOVA and ENC baselines, the exhaustive reference, and the
+// grow-until-satisfied variant) on a face.Problem and returns the
+// encoding together with its per-constraint audit. The context carries
+// the run's deadline: a cancelled or timed-out run returns a wrapped
+// context.Canceled/DeadlineExceeded error and never a partial encoding
+// (DESIGN.md §14).
+//
+// The package also exposes the picola-ir/v1 binary interchange format
+// (MarshalProblem/MarshalRun/ExportCache and their inverses) and the
+// constraint-matrix text format (ParseProblem/WriteProblem), so problems,
+// results, and warmed minimization caches can be shipped between
+// processes.
+package picola
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"picola/internal/baseline/enc"
+	"picola/internal/baseline/nova"
+	"picola/internal/consfile"
+	"picola/internal/core"
+	"picola/internal/ctxutil"
+	"picola/internal/eval"
+	"picola/internal/face"
+	"picola/internal/ir"
+	"picola/internal/obs"
+	"picola/internal/optenc"
+	"picola/internal/par"
+)
+
+// Re-exported building blocks. The aliases keep the public API to one
+// import for callers while the implementation stays in internal/.
+type (
+	// Problem is a named symbol set with weighted face constraints.
+	Problem = face.Problem
+	// Constraint is one group constraint (a symbol subset).
+	Constraint = face.Constraint
+	// Encoding assigns each symbol an nv-bit code.
+	Encoding = face.Encoding
+	// Cost is the per-constraint cube evaluation of an encoding.
+	Cost = eval.Cost
+	// Cache memoizes constraint minimizations across runs. Memoized
+	// counts are a pure function of the minimization input, so sharing a
+	// cache never changes any result.
+	Cache = eval.Cache
+	// Tracer receives structured span/event records from the pipeline.
+	Tracer = obs.Tracer
+)
+
+// NewCache returns an empty minimization memo-cache, safe for
+// concurrent use and shareable across Encode calls.
+func NewCache() *Cache { return eval.NewCache() }
+
+// Options configure one Encode run. The zero value runs the PICOLA
+// column algorithm at the problem's minimum code length with the
+// default seed and parallel fan-out, without the cube evaluation.
+type Options struct {
+	// Algorithm selects the encoder: "picola" (default), "nova", "enc",
+	// "optimal", or "all". See Algorithms.
+	Algorithm string
+	// NV overrides the code length; 0 means the problem's minimum.
+	NV int
+	// Seed drives the randomized encoders (nova, enc); 0 means the
+	// default seed 1, matching the CLI flag default.
+	Seed int64
+	// Workers bounds the internal parallel fan-out; 0 means GOMAXPROCS
+	// and 1 reproduces the sequential execution. The output is identical
+	// at every worker count.
+	Workers int
+	// Cache memoizes constraint minimizations (nil = none).
+	Cache *Cache
+	// Trace receives pipeline span/event records (nil = off).
+	Trace Tracer
+	// Evaluate computes Result.Cost, the per-constraint cube counts of
+	// the returned encoding (the paper's Table I metric).
+	Evaluate bool
+}
+
+// Result is one completed Encode run.
+type Result struct {
+	// Encoding is the computed code assignment.
+	Encoding *Encoding
+	// Satisfied[i] reports whether constraint i's face is intruder-free
+	// under the encoding.
+	Satisfied []bool
+	// Infeasible[i] is the complement verdict per constraint, the shape
+	// the verification oracle checks.
+	Infeasible []bool
+	// Cost is the cube evaluation; nil unless Options.Evaluate.
+	Cost *Cost
+	// Warnings are the encoder's diagnostic notes (e.g. the ENC search
+	// running out of budget), in emission order.
+	Warnings []string
+}
+
+// Algorithms lists the valid Options.Algorithm values, sorted.
+func Algorithms() []string {
+	names := make([]string, 0, len(encoders))
+	for name := range encoders {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// encodeEnv is the per-run state an encoder variant sees.
+type encodeEnv struct {
+	ctx  context.Context
+	o    Options
+	warn func(format string, args ...any)
+}
+
+// encoders dispatches Options.Algorithm. Each variant returns only the
+// encoding; Encode derives the audit uniformly afterwards.
+var encoders = map[string]func(env *encodeEnv, p *Problem) (*Encoding, error){
+	"picola": func(env *encodeEnv, p *Problem) (*Encoding, error) {
+		r, err := core.EncodeContext(env.ctx, p, core.Options{
+			NV: env.o.NV, Trace: env.o.Trace, Workers: env.o.Workers, Cache: env.o.Cache,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return r.Encoding, nil
+	},
+	"nova": func(env *encodeEnv, p *Problem) (*Encoding, error) {
+		// The baseline is not context-plumbed internally; the deadline is
+		// honored at the run boundary.
+		if err := ctxutil.Check(env.ctx, "picola.encode"); err != nil {
+			return nil, err
+		}
+		return nova.Encode(p, nova.Options{Seed: env.o.Seed, NV: env.o.NV})
+	},
+	"enc": func(env *encodeEnv, p *Problem) (*Encoding, error) {
+		if err := ctxutil.Check(env.ctx, "picola.encode"); err != nil {
+			return nil, err
+		}
+		r, err := enc.Encode(p, enc.Options{
+			Seed: env.o.Seed, NV: env.o.NV, Workers: env.o.Workers, Cache: env.o.Cache,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if !r.Completed {
+			env.warn("enc search ran out of budget")
+		}
+		return r.Encoding, nil
+	},
+	"optimal": func(env *encodeEnv, p *Problem) (*Encoding, error) {
+		if err := ctxutil.Check(env.ctx, "picola.encode"); err != nil {
+			return nil, err
+		}
+		r, err := optenc.Optimal(p)
+		if err != nil {
+			return nil, err
+		}
+		env.warn("exhaustive optimum over %d encodings: %d cubes", r.Evaluated, r.Cubes)
+		return r.Encoding, nil
+	},
+	"all": func(env *encodeEnv, p *Problem) (*Encoding, error) {
+		r, err := core.EncodeAllContext(env.ctx, p, core.Options{
+			Trace: env.o.Trace, Workers: env.o.Workers, Cache: env.o.Cache,
+		})
+		if err != nil {
+			return nil, err
+		}
+		env.warn("full satisfaction at %d bits (minimum %d)", r.Encoding.NV, p.MinLength())
+		return r.Encoding, nil
+	},
+}
+
+// Encode runs one face-constrained encoding end to end: dispatch the
+// selected encoder, audit the result per constraint, and (with
+// Options.Evaluate) score it by minimized cube count. ctx deadlines and
+// cancellation are checked throughout the PICOLA pipeline and at every
+// minimization boundary; a cancelled run returns an error wrapping
+// context.Canceled or context.DeadlineExceeded and a nil Result.
+func Encode(ctx context.Context, p *Problem, o Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if p == nil {
+		return nil, fmt.Errorf("picola: nil problem")
+	}
+	if o.Algorithm == "" {
+		o.Algorithm = "picola"
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	o.Workers = par.Workers(o.Workers)
+	run, ok := encoders[o.Algorithm]
+	if !ok {
+		return nil, fmt.Errorf("picola: unknown algorithm %q (valid: %s)",
+			o.Algorithm, strings.Join(Algorithms(), ", "))
+	}
+	res := &Result{}
+	env := &encodeEnv{ctx: ctx, o: o, warn: func(format string, args ...any) {
+		res.Warnings = append(res.Warnings, fmt.Sprintf(format, args...))
+	}}
+	e, err := run(env, p)
+	if err != nil {
+		return nil, err
+	}
+	res.Encoding = e
+	res.Satisfied = make([]bool, len(p.Constraints))
+	res.Infeasible = make([]bool, len(p.Constraints))
+	for i, c := range p.Constraints {
+		sat := e.Satisfied(c)
+		res.Satisfied[i] = sat
+		res.Infeasible[i] = !sat
+	}
+	if o.Evaluate {
+		cost, err := eval.EvaluateContext(ctx, p, e, eval.Options{Cache: o.Cache, Workers: o.Workers})
+		if err != nil {
+			return nil, err
+		}
+		res.Cost = cost
+	}
+	return res, nil
+}
+
+// ParseProblem reads a constraint-matrix file (the cmd/picola input
+// format; see internal/consfile).
+func ParseProblem(r io.Reader) (*Problem, error) { return consfile.Parse(r) }
+
+// ParseProblemString is ParseProblem on an in-memory string.
+func ParseProblemString(s string) (*Problem, error) { return consfile.ParseString(s) }
+
+// WriteProblem writes the problem back out in constraint-matrix form.
+func WriteProblem(w io.Writer, p *Problem) error { return consfile.Write(w, p) }
+
+// MarshalProblem serializes a problem alone in picola-ir/v1 binary form.
+func MarshalProblem(p *Problem) ([]byte, error) {
+	return ir.Marshal(&ir.File{Problem: p})
+}
+
+// UnmarshalProblem decodes a picola-ir/v1 blob carrying a problem.
+func UnmarshalProblem(b []byte) (*Problem, error) {
+	f, err := ir.Unmarshal(b)
+	if err != nil {
+		return nil, err
+	}
+	if f.Problem == nil {
+		return nil, fmt.Errorf("picola: IR blob carries no problem section")
+	}
+	return f.Problem, nil
+}
+
+// MarshalRun serializes a problem together with an Encode result —
+// encoding plus audit (and the cube counts when res.Cost is set) — in
+// picola-ir/v1 binary form.
+func MarshalRun(p *Problem, res *Result) ([]byte, error) {
+	if res == nil || res.Encoding == nil {
+		return nil, fmt.Errorf("picola: cannot marshal a run without an encoding")
+	}
+	f := &ir.File{Problem: p, Encoding: res.Encoding}
+	if res.Cost != nil {
+		f.Audit = &ir.Audit{
+			Satisfied:      res.Satisfied,
+			Infeasible:     res.Infeasible,
+			Cubes:          res.Cost.Cubes,
+			Total:          res.Cost.Total,
+			WeightedTotal:  res.Cost.WeightedTotal,
+			SatisfiedCount: res.Cost.SatisfiedCount,
+		}
+	}
+	return ir.Marshal(f)
+}
+
+// UnmarshalRun decodes a picola-ir/v1 blob back into the problem and
+// result MarshalRun serialized. Result.Cost is nil when the blob carries
+// no audit section.
+func UnmarshalRun(b []byte) (*Problem, *Result, error) {
+	f, err := ir.Unmarshal(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	if f.Encoding == nil {
+		return nil, nil, fmt.Errorf("picola: IR blob carries no encoding section")
+	}
+	res := &Result{Encoding: f.Encoding}
+	if f.Audit != nil {
+		res.Satisfied = f.Audit.Satisfied
+		res.Infeasible = f.Audit.Infeasible
+		res.Cost = &Cost{
+			Cubes:          f.Audit.Cubes,
+			Total:          f.Audit.Total,
+			WeightedTotal:  f.Audit.WeightedTotal,
+			SatisfiedCount: f.Audit.SatisfiedCount,
+		}
+	} else if f.Problem != nil {
+		res.Satisfied = make([]bool, len(f.Problem.Constraints))
+		res.Infeasible = make([]bool, len(f.Problem.Constraints))
+		for i, c := range f.Problem.Constraints {
+			sat := f.Encoding.Satisfied(c)
+			res.Satisfied[i] = sat
+			res.Infeasible[i] = !sat
+		}
+	}
+	return f.Problem, res, nil
+}
+
+// ExportCache serializes every memoized entry of the cache in
+// picola-ir/v1 binary form, in a deterministic order.
+func ExportCache(c *Cache) ([]byte, error) {
+	if c == nil {
+		return nil, fmt.Errorf("picola: cannot export a nil cache")
+	}
+	entries := c.Export()
+	if entries == nil {
+		entries = []eval.CacheEntry{}
+	}
+	return ir.Marshal(&ir.File{CacheEntries: entries})
+}
+
+// ImportCache installs the entries of an ExportCache blob into the
+// cache, returning the number inserted (existing entries are kept).
+func ImportCache(c *Cache, b []byte) (int, error) {
+	if c == nil {
+		return 0, fmt.Errorf("picola: cannot import into a nil cache")
+	}
+	f, err := ir.Unmarshal(b)
+	if err != nil {
+		return 0, err
+	}
+	return c.Import(f.CacheEntries)
+}

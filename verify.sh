@@ -96,8 +96,9 @@ rm -f "$obs_bin" "$obs_log"
 go run ./cmd/verify -random 8 -seed 1 testdata/figure1.cons testdata/infeasible.cons
 
 # The parallel execution layer must be bit-deterministic at every worker
-# count: run the determinism suite under the race detector at both ends
-# of the GOMAXPROCS range (the env propagates to the cmd/tables
+# count, and cancellation all-or-nothing (DESIGN.md §14): run the
+# determinism and cancellation suites under the race detector at both
+# ends of the GOMAXPROCS range (the env propagates to the cmd/tables
 # subprocesses the suite spawns).
-GOMAXPROCS=1 go test -race -count=1 -run Determinism .
-GOMAXPROCS=4 go test -race -count=1 -run Determinism .
+GOMAXPROCS=1 go test -race -count=1 -run 'Determinism|Cancel' .
+GOMAXPROCS=4 go test -race -count=1 -run 'Determinism|Cancel' .
