@@ -1,0 +1,80 @@
+package benchgen
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"picola/internal/consfile"
+)
+
+// CorpusSpec configures one generated corpus: Count fixed-seed random
+// face-constraint instances (RandomProblem) of up to MaxSymbols symbols,
+// derived from Seed. Equal specs produce byte-identical corpora on every
+// platform — the property the batch warm-vs-cold acceptance run and the
+// CI smoke job key on.
+type CorpusSpec struct {
+	Seed       int64
+	Count      int
+	MaxSymbols int
+	// Density scales the constraint count per instance to roughly
+	// Density constraints per symbol. 0 keeps the RandomProblem default
+	// (about one constraint per two symbols). Dense instances spend
+	// proportionally more of their encode time in constraint
+	// minimization — the memoizable part — which is what corpus cache
+	// benchmarks want to stress.
+	Density int
+}
+
+// ManifestName is the corpus index file WriteCorpus emits: one instance
+// path per line, relative to the manifest's directory, in run order.
+const ManifestName = "manifest.txt"
+
+// instanceSeed decorrelates per-instance seeds (SplitMix64 finalizer) so
+// corpora with nearby Seeds do not share instance prefixes.
+func instanceSeed(corpus int64, i int) int64 {
+	z := uint64(corpus) + uint64(i)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z & 0x7fffffffffffffff)
+}
+
+// WriteCorpus generates the corpus under dir (created if needed): one
+// consfile per instance named inst-00000.cons … plus ManifestName
+// listing them in order. It returns the relative instance paths in
+// manifest order.
+func WriteCorpus(dir string, spec CorpusSpec) ([]string, error) {
+	if spec.Count < 1 {
+		return nil, fmt.Errorf("benchgen: corpus count %d, want >= 1", spec.Count)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("benchgen: %w", err)
+	}
+	names := make([]string, 0, spec.Count)
+	var manifest strings.Builder
+	fmt.Fprintf(&manifest, "# picola corpus seed=%d count=%d max-symbols=%d\n",
+		spec.Seed, spec.Count, spec.MaxSymbols)
+	for i := 0; i < spec.Count; i++ {
+		p := RandomDenseProblem(instanceSeed(spec.Seed, i), spec.MaxSymbols, spec.Density)
+		name := fmt.Sprintf("inst-%05d.cons", i)
+		p.Name = strings.TrimSuffix(name, ".cons")
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("benchgen: %w", err)
+		}
+		werr := consfile.Write(f, p)
+		cerr := f.Close()
+		if werr != nil || cerr != nil {
+			return nil, fmt.Errorf("benchgen: write %s: %v / %v", name, werr, cerr)
+		}
+		names = append(names, name)
+		manifest.WriteString(name)
+		manifest.WriteByte('\n')
+	}
+	if err := os.WriteFile(filepath.Join(dir, ManifestName), []byte(manifest.String()), 0o644); err != nil {
+		return nil, fmt.Errorf("benchgen: %w", err)
+	}
+	return names, nil
+}

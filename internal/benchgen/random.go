@@ -18,6 +18,15 @@ import (
 // to 3; the result always passes face.Problem.Validate and has at least
 // one constraint.
 func RandomProblem(seed int64, maxSymbols int) *face.Problem {
+	return RandomDenseProblem(seed, maxSymbols, 0)
+}
+
+// RandomDenseProblem is RandomProblem with the constraint count scaled
+// to roughly density constraints per symbol (density ≤ 0 keeps the
+// RandomProblem default of about one per two symbols). Denser instances
+// shift encode time toward constraint minimization, which is what the
+// corpus-cache benchmarks stress.
+func RandomDenseProblem(seed int64, maxSymbols, density int) *face.Problem {
 	if maxSymbols < 3 {
 		maxSymbols = 3
 	}
@@ -27,8 +36,21 @@ func RandomProblem(seed int64, maxSymbols int) *face.Problem {
 	for s := 0; s < n; s++ {
 		p.Names = append(p.Names, fmt.Sprintf("s%d", s))
 	}
-	// At least one constraint; on average about one per symbol.
+	// At least one constraint; on average about one per symbol at the
+	// default density.
 	nc := 1 + rng.Intn(n)
+	if density > 0 {
+		nc = density * n
+		// Distinct group constraints have 2 to n-1 members: 2^n - n - 2
+		// of them. Cap well below saturation so the rejection loop below
+		// terminates quickly.
+		if limit := (1 << uint(min(n, 16))) - n - 2; nc > limit/2 {
+			nc = limit / 2
+		}
+		if nc < 1 {
+			nc = 1
+		}
+	}
 	for len(p.Constraints) < nc {
 		k := 2 + rng.Intn(n-2) // members in [2, n-1]
 		c := face.NewConstraint(n)

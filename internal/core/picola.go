@@ -232,6 +232,16 @@ type encoder struct {
 	// Solve diagnostics of the last generated column.
 	lastMoves int
 	lastCost  float64
+
+	// Converged-polish memo: when a polish pass ends at a local optimum,
+	// the codes it converged at are snapshotted here. A later polish call
+	// that starts from byte-identical codes would re-evaluate and
+	// re-reject every candidate — the winning variant's full refinement
+	// repeats its in-variant light polish exactly — so it returns
+	// immediately instead. Any code change between the calls fails the
+	// comparison and polishes normally.
+	polishConverged bool
+	polishedCodes   []uint64
 }
 
 // Encode runs PICOLA on the problem and returns the minimum-length
@@ -482,6 +492,9 @@ func (e *encoder) exactPolish(budget int) error {
 			ps.spares = append(ps.spares, uint64(code))
 		}
 	}
+	ps.commitSeq = 1
+	ps.pairTried = make([]int, n*n)
+	ps.moveTried = make([]int, n*len(ps.spares))
 	before := ps.total()
 	if err := ps.descend(); err != nil {
 		return err
@@ -559,6 +572,21 @@ type polishState struct {
 	newCost []int
 	sup     []bcube
 	aMem    []bool
+
+	// Don't-look memory (see the estimate polish): a candidate rejected
+	// at commitSeq is skipped — but still charged the evals it would
+	// have spent, so the budget trajectory is byte-identical — until any
+	// commit bumps commitSeq. kick never skips: its evaluations rank
+	// candidates rather than reject them.
+	commitSeq int
+	pairTried []int
+	moveTried []int
+
+	// affected/swapDelta scratch, reused across candidates.
+	mark      []int
+	markEpoch int
+	idxBuf    []int
+	swapCost  []int
 }
 
 // prepareSpareScan sizes the scan scratch and snapshots, for the symbol a
@@ -593,27 +621,35 @@ func (ps *polishState) total() int {
 }
 
 // affected lists the constraints a swap of symbols a and b can change.
+// The returned slice is scratch, valid until the next call.
 func (ps *polishState) affected(a, b int) []int {
-	seen := map[int]bool{}
-	var idx []int
+	if ps.mark == nil {
+		ps.mark = make([]int, len(ps.e.p.Constraints))
+	}
+	ps.markEpoch++
+	ps.idxBuf = ps.idxBuf[:0]
 	for _, i := range ps.memberOf[a] {
-		seen[i] = true
-		idx = append(idx, i)
+		ps.mark[i] = ps.markEpoch
+		ps.idxBuf = append(ps.idxBuf, i)
 	}
 	for _, i := range ps.memberOf[b] {
-		if !seen[i] {
-			idx = append(idx, i)
+		if ps.mark[i] != ps.markEpoch {
+			ps.idxBuf = append(ps.idxBuf, i)
 		}
 	}
-	return idx
+	return ps.idxBuf
 }
 
 // swapDelta applies the swap and returns the exact cost change and the
-// touched constraints' new costs (without committing ps.cost).
+// touched constraints' new costs (without committing ps.cost). The cost
+// slice is scratch, valid until the next call.
 func (ps *polishState) swapDelta(a, b int, idx []int) (int, []int, error) {
 	ps.e.enc.Codes[a], ps.e.enc.Codes[b] = ps.e.enc.Codes[b], ps.e.enc.Codes[a]
 	d := 0
-	newCost := make([]int, len(idx))
+	if cap(ps.swapCost) < len(idx) {
+		ps.swapCost = make([]int, len(ps.e.p.Constraints))
+	}
+	newCost := ps.swapCost[:len(idx)]
 	for j, i := range idx {
 		k, err := ps.e.exactCubes(ps.e.p.Constraints[i])
 		if err != nil {
@@ -642,6 +678,12 @@ func (ps *polishState) descend() error {
 			for si := range ps.spares {
 				if ps.evals+r > ps.budget {
 					break
+				}
+				if ps.moveTried[a*len(ps.spares)+si] == ps.commitSeq {
+					// Already rejected under this exact state; charge the
+					// scan it would have cost and move on.
+					ps.evals += r
+					continue
 				}
 				old := e.enc.Codes[a]
 				nw := ps.spares[si]
@@ -677,13 +719,19 @@ func (ps *polishState) descend() error {
 					copy(ps.cost, ps.newCost)
 					ps.spares[si] = old
 					improved = true
+					ps.commitSeq++
 				} else {
 					e.enc.Codes[a] = old
+					ps.moveTried[a*len(ps.spares)+si] = ps.commitSeq
 				}
 			}
 			for b := a + 1; b < n && ps.evals < ps.budget; b++ {
 				idx := ps.affected(a, b)
 				if len(idx) == 0 {
+					continue
+				}
+				if ps.pairTried[a*n+b] == ps.commitSeq {
+					ps.evals += len(idx)
 					continue
 				}
 				d, newCost, err := ps.swapDelta(a, b, idx)
@@ -695,8 +743,10 @@ func (ps *polishState) descend() error {
 						ps.cost[i] = newCost[j]
 					}
 					improved = true
+					ps.commitSeq++
 				} else {
 					e.enc.Codes[a], e.enc.Codes[b] = e.enc.Codes[b], e.enc.Codes[a]
+					ps.pairTried[a*n+b] = ps.commitSeq
 				}
 			}
 		}
@@ -733,7 +783,9 @@ func (ps *polishState) kick() error {
 		// Undo; the chosen kick is re-applied below.
 		e.enc.Codes[a], e.enc.Codes[b] = e.enc.Codes[b], e.enc.Codes[a]
 		if d != 0 && d < bestD {
-			bestA, bestB, bestD, bestCost = a, b, d, newCost
+			bestA, bestB, bestD = a, b, d
+			// newCost is swapDelta scratch — snapshot it.
+			bestCost = append(bestCost[:0], newCost...)
 		}
 	}
 	if bestA < 0 {
@@ -744,6 +796,7 @@ func (ps *polishState) kick() error {
 	for j, i := range idx {
 		ps.cost[i] = bestCost[j]
 	}
+	ps.commitSeq++
 	return nil
 }
 
@@ -832,7 +885,7 @@ func (cm *costModel) estimate(i int) int {
 	if nIntr == 0 {
 		return 1
 	}
-	est := cm.split(m, cm.ibuf[:nIntr])
+	est := cm.splitPre(m, cm.ibuf[:nIntr], agree, vals)
 	// Theorem I: when the intruders span a cube containing no member
 	// code, dim(super(L)) − dim(super(I)) cubes suffice.
 	iAgree := cm.mask
@@ -858,26 +911,13 @@ func (cm *costModel) estimate(i int) int {
 	return est
 }
 
-func popcount(x uint64) int {
-	n := 0
-	for x != 0 {
-		x &= x - 1
-		n++
-	}
-	return n
-}
+func popcount(x uint64) int { return bits.OnesCount64(x) }
 
-// split bounds the cubes needed to cover the member codes m while
-// excluding the intruder codes intr (all inside m's parent supercube),
-// partitioning both slices in place.
-func (cm *costModel) split(m, intr []uint64) int {
-	agree := cm.mask
-	vals := m[0]
-	for _, code := range m[1:] {
-		agree &^= vals ^ code
-	}
-	vals &= agree
-	// Compact the intruders still inside this node's supercube.
+// splitHalf recurses into one side of a split: agree/vals describe the
+// side's member supercube (computed by the parent during partitioning),
+// and intr holds the intruder candidates routed to the side, not yet
+// compacted against that tighter supercube.
+func (cm *costModel) splitHalf(m, intr []uint64, agree, vals uint64) int {
 	k := 0
 	for _, code := range intr {
 		if (code^vals)&agree == 0 {
@@ -885,16 +925,27 @@ func (cm *costModel) split(m, intr []uint64) int {
 			k++
 		}
 	}
-	intr = intr[:k]
-	if k == 0 || len(m) == 1 {
+	return cm.splitPre(m, intr[:k], agree, vals)
+}
+
+// splitPre bounds the cubes needed to cover the member codes m while
+// excluding the intruder codes intr, partitioning both slices in place.
+// agree/vals must be m's supercube signature and every intr code must
+// lie inside that supercube. estimate calls it directly — it has just
+// derived exactly these while filtering intruder candidates, so a
+// top-level recompute would be pure rework.
+func (cm *costModel) splitPre(m, intr []uint64, agree, vals uint64) int {
+	if len(intr) == 0 || len(m) == 1 {
 		return 1
 	}
 	bestCol, bestScore := -1, 1<<30
-	for col := 0; col < cm.nv; col++ {
-		bit := uint64(1) << uint(col)
-		if agree&bit != 0 {
-			continue
-		}
+	// Only the disagreeing in-mask columns can split; TrailingZeros walks
+	// them in ascending order, so ties still resolve to the lowest column.
+	// |2·m0 − |m|| can never beat |m| mod 2, so the scan stops at the
+	// first column reaching that floor.
+	opt := len(m) & 1
+	for d := ^agree & cm.mask; d != 0; d &= d - 1 {
+		bit := d & -d
 		m0 := 0
 		for _, code := range m {
 			if code&bit == 0 {
@@ -908,21 +959,53 @@ func (cm *costModel) split(m, intr []uint64) int {
 		// All current intruders stay candidates on one side or the other;
 		// prefer balanced splits, then low columns for determinism.
 		if balance < bestScore {
-			bestScore, bestCol = balance, col
+			bestScore, bestCol = balance, bits.TrailingZeros64(bit)
+			if bestScore <= opt {
+				break
+			}
 		}
 	}
 	if bestCol < 0 {
 		return len(m)
 	}
 	bit := uint64(1) << uint(bestCol)
-	mi := partition(m, bit)
-	ii := partition(intr, bit)
-	total := 0
-	if mi > 0 {
-		total += cm.split(m[:mi], intr[:ii])
+	// Partition the members by the chosen column, folding each side's
+	// supercube signature into the same pass so the children never
+	// rescan their members.
+	mi := 0
+	var agL, vaL, agR, vaR uint64
+	for j, x := range m {
+		if x&bit == 0 {
+			if mi == 0 {
+				agL, vaL = cm.mask, x
+			} else {
+				agL &^= vaL ^ x
+			}
+			m[mi], m[j] = x, m[mi]
+			mi++
+		} else if agR == 0 && vaR == 0 {
+			agR, vaR = cm.mask, x
+		} else {
+			agR &^= vaR ^ x
+		}
 	}
-	if mi < len(m) {
-		total += cm.split(m[mi:], intr[ii:])
+	vaL &= agL
+	vaR &= agR
+	ii := partition(intr, bit)
+	// bestCol disagrees among the members, so both sides are non-empty.
+	// A side with no intruder candidates, or a single member (whose
+	// supercube is one point no distinct code can intrude on), is one
+	// cube — skip the child call outright.
+	total := 0
+	if ii > 0 && mi > 1 {
+		total += cm.splitHalf(m[:mi], intr[:ii], agL, vaL)
+	} else {
+		total++
+	}
+	if ii < len(intr) && len(m)-mi > 1 {
+		total += cm.splitHalf(m[mi:], intr[ii:], agR, vaR)
+	} else {
+		total++
 	}
 	return total
 }
@@ -940,6 +1023,19 @@ func partition(xs []uint64, bit uint64) int {
 	return i
 }
 
+// codesEqual reports whether two code assignments are identical.
+func codesEqual(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, v := range a {
+		if v != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // polish is a deterministic first-improvement hill climb over code swaps
 // and moves to spare codes, minimizing the weighted cube estimate. The
 // estimate of a constraint depends only on its member codes and the
@@ -948,6 +1044,14 @@ func partition(xs []uint64, bit uint64) int {
 // incremental and never calls espresso.
 func (e *encoder) polish(maxPasses int) error {
 	defer tPolish.Start()()
+	if err := ctxutil.Check(e.runCtx(), "core.polish"); err != nil {
+		return err
+	}
+	if e.polishConverged && codesEqual(e.polishedCodes, e.enc.Codes) {
+		// A previous polish converged at exactly these codes; re-running
+		// would re-reject every candidate and change nothing.
+		return nil
+	}
 	t0 := time.Now()
 	n := e.n
 	r := len(e.p.Constraints)
@@ -1002,22 +1106,59 @@ func (e *encoder) polish(maxPasses int) error {
 			est[i] = saved[j]
 		}
 	}
+	// The scan buffers are reused across every candidate swap and move:
+	// mark carries an epoch stamp instead of being cleared, idxBuf holds
+	// the affected-constraint list, savedBuf the estimates to restore on
+	// rollback, and sup the per-constraint supercubes for the spare scan.
+	// The O(n²·passes) candidate loop is the encoder's warm-path floor,
+	// so it must not allocate per candidate.
+	mark := make([]int, r)
+	epoch := 0
+	idxBuf := make([]int, 0, r)
+	savedBuf := make([]int, r)
+	sup := make([]bcube, r)
+	// Don't-look memory: a candidate rejected at commitSeq is skipped
+	// until any candidate commits (every commit bumps commitSeq). A
+	// rejected evaluation has no side effects — codes and est are
+	// restored — so re-evaluating it under the identical global state
+	// would reject identically: skipping preserves the exact search
+	// trajectory while making the final convergence passes nearly free.
+	commitSeq := 1
+	pairTried := make([]int, n*n)
+	moveTried := make([]int, n*len(spares))
+	// supOf is supercubeOf on the cached member lists, avoiding the
+	// per-call Members() allocation.
+	supOf := func(i int) bcube {
+		var b bcube
+		mem := cm.members[i]
+		if len(mem) == 0 {
+			return b
+		}
+		b.agree = mask
+		b.vals = e.enc.Codes[mem[0]] & mask
+		for _, m := range mem[1:] {
+			b.agree &^= (b.vals ^ e.enc.Codes[m]) & mask
+		}
+		b.vals &= b.agree
+		return b
+	}
+	// affectedSwap lists the constraints with a or b as a member — the
+	// only ones a swap of their codes can change. memberOf lists are
+	// duplicate-free, so only b's list needs the mark check.
 	affectedSwap := func(a, b int) []int {
-		seen := map[int]bool{}
-		var out []int
+		epoch++
+		idxBuf = idxBuf[:0]
 		for _, i := range memberOf[a] {
-			if !seen[i] {
-				seen[i] = true
-				out = append(out, i)
-			}
+			mark[i] = epoch
+			idxBuf = append(idxBuf, i)
 		}
 		for _, i := range memberOf[b] {
-			if !seen[i] {
-				seen[i] = true
-				out = append(out, i)
+			if mark[i] != epoch {
+				mark[i] = epoch
+				idxBuf = append(idxBuf, i)
 			}
 		}
-		return out
+		return idxBuf
 	}
 	passes := 0
 	for pass := 0; pass < maxPasses; pass++ {
@@ -1028,61 +1169,83 @@ func (e *encoder) polish(maxPasses int) error {
 		improved := false
 		for a := 0; a < n; a++ {
 			for b := a + 1; b < n; b++ {
+				if pairTried[a*n+b] == commitSeq {
+					continue
+				}
 				idx := affectedSwap(a, b)
 				if len(idx) == 0 {
 					continue
 				}
-				saved := make([]int, len(idx))
+				saved := savedBuf[:len(idx)]
 				for j, i := range idx {
 					saved[j] = est[i]
 				}
 				e.enc.Codes[a], e.enc.Codes[b] = e.enc.Codes[b], e.enc.Codes[a]
 				if delta(idx) < 0 {
 					improved = true
+					commitSeq++
 				} else {
 					e.enc.Codes[a], e.enc.Codes[b] = e.enc.Codes[b], e.enc.Codes[a]
 					restore(idx, saved)
+					pairTried[a*n+b] = commitSeq
 				}
 			}
 			// Moves to spare codes change the non-member code multiset, so
 			// they can affect a's memberships plus any constraint whose
-			// supercube contains the departing or arriving code.
+			// supercube contains the departing or arriving code. Committing
+			// a move changes only a's code, and a's member constraints are
+			// listed unconditionally, so the supercubes consulted below are
+			// invariant across the scan — compute them once per symbol.
+			if len(spares) > 0 {
+				for i := range sup {
+					sup[i] = supOf(i)
+				}
+			}
 			for si := range spares {
-				var idx []int
-				seen := map[int]bool{}
+				if moveTried[a*len(spares)+si] == commitSeq {
+					continue
+				}
+				epoch++
+				idxBuf = idxBuf[:0]
 				for _, i := range memberOf[a] {
-					seen[i] = true
-					idx = append(idx, i)
+					mark[i] = epoch
+					idxBuf = append(idxBuf, i)
 				}
 				old := e.enc.Codes[a]
-				for i, c := range e.p.Constraints {
-					if seen[i] {
+				nw := spares[si]
+				for i := 0; i < r; i++ {
+					if mark[i] == epoch {
 						continue
 					}
-					sup, _ := supercubeOf(e.enc, c)
-					inOld := (old^sup.vals)&sup.agree == 0
-					inNew := (spares[si]^sup.vals)&sup.agree == 0
-					if inOld || inNew {
-						idx = append(idx, i)
+					if wordInside(old, sup[i]) || wordInside(nw, sup[i]) {
+						idxBuf = append(idxBuf, i)
 					}
 				}
-				saved := make([]int, len(idx))
+				idx := idxBuf
+				saved := savedBuf[:len(idx)]
 				for j, i := range idx {
 					saved[j] = est[i]
 				}
-				e.enc.Codes[a] = spares[si]
+				e.enc.Codes[a] = nw
 				if delta(idx) < 0 {
 					spares[si] = old
 					improved = true
+					commitSeq++
 				} else {
 					e.enc.Codes[a] = old
 					restore(idx, saved)
+					moveTried[a*len(spares)+si] = commitSeq
 				}
 			}
 		}
 		if !improved {
+			// Local optimum: every candidate was just rejected at the
+			// current codes, so an immediate re-polish has nothing to do.
+			e.polishConverged = true
+			e.polishedCodes = append(e.polishedCodes[:0], e.enc.Codes...)
 			break
 		}
+		e.polishConverged = false
 	}
 	if e.tr != nil {
 		after := weightedEst()

@@ -16,16 +16,19 @@ import (
 // that bypassed the cache (code space too wide, or a non-injective
 // encoding whose function a bitset key cannot canonicalize). The
 // hit-rate gauge is exported in whole percent for -metrics snapshots.
-// The lookup histogram records the caller-visible latency of every
-// cached request — hits land in the lowest buckets, misses carry the
-// minimization they had to run — so its p50/p99 split is the live view
-// of how much the memo-cache is actually saving.
+// The lookup histogram records the caller-visible latency of requests
+// the map could not answer — certificate checks plus any minimization
+// they had to run. Map hits are deliberately untimed: the hot path runs
+// millions of times per corpus sweep and two wall-clock reads per hit
+// would cost more than the lookup itself.
 var (
 	mCacheHits   = obs.Default.Counter("eval.cache.hits")
 	mCacheMisses = obs.Default.Counter("eval.cache.misses")
 	mCacheBypass = obs.Default.Counter("eval.cache.bypass")
+	mCacheEvict  = obs.Default.Counter("eval.cache.evictions")
 	gCacheRate   = obs.Default.Gauge("eval.cache.hit_rate_pct")
 	gCacheLen    = obs.Default.Gauge("eval.cache.entries")
+	gCacheBytes  = obs.Default.Gauge("eval.cache.bytes")
 	hCacheLookup = obs.Default.LatencyHistogram("eval.cache.lookup_ns")
 )
 
@@ -37,11 +40,16 @@ const (
 	// cacheShards spreads the key space over independently locked maps so
 	// concurrent minimizations rarely contend.
 	cacheShards = 64
-	// cacheShardCap bounds each shard's entries (≈256 K entries total, a
-	// few tens of MB worst case). A full shard stops inserting but keeps
-	// answering lookups; the memoized value of a key never changes, so
-	// the bound affects speed only, never results.
-	cacheShardCap = 4096
+	// DefaultCacheBytes is the NewCache memory bound: generous enough
+	// that no per-run workload evicts (the Table-I sweep stays well under
+	// 1 MiB), small enough that a long-running daemon or corpus run can
+	// never grow without limit.
+	DefaultCacheBytes = 64 << 20
+	// entryBytesOverhead approximates the per-entry bookkeeping cost
+	// beyond the key bytes themselves: the map header slot, the interned
+	// string header, the order-ring slot, and the value. The accounting
+	// only has to be honest about scale, not exact.
+	entryBytesOverhead = 64
 	// dcMemoCap bounds the don't-care memo; a full memo recomputes
 	// fresh covers instead of storing, affecting speed only.
 	dcMemoCap = 256
@@ -54,8 +62,19 @@ const (
 // (whose complement is the don't-care set) — so the cached count is a
 // pure function of the key and caching can never change an answer. A nil
 // *Cache is valid and simply computes every request.
+//
+// Memory is bounded: every entry is charged its key bytes plus a fixed
+// bookkeeping overhead against the cache's byte budget, and a full shard
+// evicts its oldest entries first (FIFO in insertion order — the
+// deterministic policy: given the same insertion sequence, the same
+// entries are evicted). Because a memoized value is a pure function of
+// its key, eviction can only cost recomputation time, never change a
+// result.
 type Cache struct {
 	shards [cacheShards]cacheShard
+	// shardBudget is the per-shard byte budget (the cache-wide budget
+	// split evenly; the FNV sharding spreads keys uniformly).
+	shardBudget int64
 
 	// Don't-care memo for the espresso path: the complement of the
 	// used-code minterms, keyed by the [nv, used-bitset] sub-signature
@@ -69,11 +88,28 @@ type Cache struct {
 type cacheShard struct {
 	mu sync.RWMutex
 	m  map[string]int
+	// order holds the live keys in insertion order; order[head:] are
+	// live, order[:head] already evicted (the prefix is compacted away
+	// once it outgrows the live tail).
+	order []string
+	head  int
+	bytes int64
 }
 
-// NewCache returns an empty cache.
-func NewCache() *Cache {
-	c := &Cache{dcm: make(map[string]*cover.Cover)}
+// NewCache returns an empty cache with the default memory bound.
+func NewCache() *Cache { return NewCacheBytes(DefaultCacheBytes) }
+
+// NewCacheBytes returns an empty cache bounded to roughly maxBytes of
+// entry accounting (key bytes + fixed per-entry overhead). maxBytes < 1
+// means the default bound. The bound affects speed only, never results.
+func NewCacheBytes(maxBytes int64) *Cache {
+	if maxBytes < 1 {
+		maxBytes = DefaultCacheBytes
+	}
+	c := &Cache{
+		shardBudget: (maxBytes + cacheShards - 1) / cacheShards,
+		dcm:         make(map[string]*cover.Cover),
+	}
 	for i := range c.shards {
 		c.shards[i].m = make(map[string]int)
 	}
@@ -92,6 +128,63 @@ func (c *Cache) Len() int {
 		c.shards[i].mu.RUnlock()
 	}
 	return n
+}
+
+// Bytes returns the accounted size of the memoized entries.
+func (c *Cache) Bytes() int64 {
+	if c == nil {
+		return 0
+	}
+	var n int64
+	for i := range c.shards {
+		c.shards[i].mu.RLock()
+		n += c.shards[i].bytes
+		c.shards[i].mu.RUnlock()
+	}
+	return n
+}
+
+// insert memoizes key→cubes under the shard's byte budget, evicting the
+// oldest entries first until the new one fits. It reports whether the
+// key was inserted (false: already present, or the entry alone exceeds
+// the whole budget), how many entries were evicted to make room, and
+// the accounted bytes those evictions freed. Metrics are the caller's
+// job — this runs inside the shard lock.
+func (sh *cacheShard) insert(key []byte, cubes int, budget int64) (inserted bool, evicted int, freed int64) {
+	size := int64(len(key)) + entryBytesOverhead
+	if size > budget {
+		return false, 0, 0
+	}
+	if _, exists := sh.m[string(key)]; exists {
+		return false, 0, 0
+	}
+	for sh.bytes+size > budget && sh.head < len(sh.order) {
+		old := sh.order[sh.head]
+		sh.order[sh.head] = ""
+		sh.head++
+		delete(sh.m, old)
+		sh.bytes -= int64(len(old)) + entryBytesOverhead
+		freed += int64(len(old)) + entryBytesOverhead
+		evicted++
+	}
+	// Compact the evicted prefix once it dominates the slice so the ring
+	// never grows proportionally to the eviction history.
+	if sh.head > 32 && sh.head > len(sh.order)/2 {
+		sh.order = append(sh.order[:0], sh.order[sh.head:]...)
+		sh.head = 0
+	}
+	ks := string(key)
+	sh.m[ks] = cubes
+	sh.order = append(sh.order, ks)
+	sh.bytes += size
+	return true, evicted, freed
+}
+
+// insertLocked is insert under the shard lock.
+func (sh *cacheShard) insertLocked(key []byte, cubes int, budget int64) (inserted bool, evicted int, freed int64) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.insert(key, cubes, budget)
 }
 
 // ConstraintCubes is the memoized ConstraintCubes: exact minimization
@@ -120,19 +213,13 @@ func (c *Cache) constraintCubes(ctx context.Context, e *face.Encoding, con face.
 	if err := ctxutil.Check(ctx, "eval.minimize"); err != nil {
 		return 0, err
 	}
-	t0 := time.Now()
-	defer func() { hCacheLookup.Observe(int64(time.Since(t0))) }()
-	if satisfiedOne(e, con) {
-		// Warm certificate: the member-code supercube contains no OFF
-		// code, so the minimum cover is provably that single cube — the
-		// count any minimizer policy returns (the ConstraintCubes
-		// contract). Answer without a key build, lock, or minimizer.
-		mWarmHits.Inc()
-		return 1, nil
-	}
 	kb := keyPool.Get().(*keyBuf)
 	defer keyPool.Put(kb)
 	if !kb.cacheKey(e, con, heuristic) {
+		if satisfiedOne(e, con) {
+			mWarmHits.Inc()
+			return 1, nil
+		}
 		mCacheBypass.Inc()
 		return minimizeConstraint(ctx, e, con, heuristic)
 	}
@@ -141,9 +228,26 @@ func (c *Cache) constraintCubes(ctx context.Context, e *face.Encoding, con face.
 	k, hit := sh.m[string(kb.key)]
 	sh.mu.RUnlock()
 	if hit {
+		// Hot path: corpus re-runs take this branch millions of times per
+		// sweep, so it pays for nothing but the lookup — no wall clocks,
+		// and the diagnostic hit-rate gauge refreshes on a sample.
 		mCacheHits.Inc()
-		updateRate()
+		if mCacheHits.Value()&1023 == 0 {
+			updateRate()
+		}
 		return k, nil
+	}
+	t0 := time.Now()
+	defer func() { hCacheLookup.Observe(int64(time.Since(t0))) }()
+	if satisfiedOne(e, con) {
+		// Warm certificate: the member-code supercube contains no OFF
+		// code, so the minimum cover is provably that single cube — the
+		// count any minimizer policy returns (the ConstraintCubes
+		// contract). Certified constraints are answered here, never
+		// inserted, so they can only reach the map branch above through
+		// an imported store that already vouched for the same count.
+		mWarmHits.Inc()
+		return 1, nil
 	}
 	k, err := c.minimizeWarm(ctx, e, con, heuristic, kb)
 	if err != nil {
@@ -151,16 +255,24 @@ func (c *Cache) constraintCubes(ctx context.Context, e *face.Encoding, con face.
 	}
 	mCacheMisses.Inc()
 	updateRate()
-	sh.mu.Lock()
-	inserted := len(sh.m) < cacheShardCap
+	inserted, evicted, freed := sh.insertLocked(kb.key, k, c.shardBudget)
 	if inserted {
-		sh.m[string(kb.key)] = k
-	}
-	sh.mu.Unlock()
-	if inserted {
-		gCacheLen.Set(gCacheLen.Value() + 1) // approximate under contention
+		noteInsert(int64(len(kb.key))+entryBytesOverhead, evicted, freed)
 	}
 	return k, nil
+}
+
+// noteInsert updates the size gauges and eviction counter after one
+// successful shard insert of added accounted bytes that displaced
+// evicted older entries freeing freed bytes. The gauges are diagnostic;
+// approximate interleaving under contention is fine (the per-shard
+// accounting itself is exact).
+func noteInsert(added int64, evicted int, freed int64) {
+	gCacheLen.Add(int64(1 - evicted))
+	gCacheBytes.Add(added - freed)
+	if evicted > 0 {
+		mCacheEvict.Add(int64(evicted))
+	}
 }
 
 // updateRate refreshes the hit-rate gauge from the counters. The value

@@ -79,64 +79,124 @@ func (c *Cache) Export() []CacheEntry {
 	if c == nil {
 		return nil
 	}
-	var entries []CacheEntry
-	var keys []string
-	var vals []int
+	var pairs []struct {
+		key   string
+		cubes int
+	}
 	for i := range c.shards {
 		sh := &c.shards[i]
-		klo := len(keys)
 		sh.mu.RLock()
-		for k := range sh.m {
-			keys = append(keys, k)
-		}
-		for _, k := range keys[klo:] {
-			vals = append(vals, sh.m[k])
+		//lint:ignore detrange pair collection sorted by key below before any use
+		for k, v := range sh.m {
+			pairs = append(pairs, struct {
+				key   string
+				cubes int
+			}{k, v})
 		}
 		sh.mu.RUnlock()
 	}
-	for i, k := range keys {
-		if ent, ok := parseCacheKey(k, vals[i]); ok {
+	// The interned key bytes ARE the canonical order (buildCacheKey is
+	// the identity round-trip of parseCacheKey), so sort the raw keys —
+	// rebuilding a key per comparison would allocate O(n log n) times.
+	sort.Slice(pairs, func(a, b int) bool { return pairs[a].key < pairs[b].key })
+	entries := make([]CacheEntry, 0, len(pairs))
+	for _, p := range pairs {
+		if ent, ok := parseCacheKey(p.key, p.cubes); ok {
 			entries = append(entries, ent)
 		}
 	}
-	sort.Slice(entries, func(i, j int) bool {
-		a, b := buildCacheKey(entries[i]), buildCacheKey(entries[j])
-		return string(a) < string(b)
-	})
 	return entries
 }
 
-// Import installs entries into the cache, skipping invalid signatures,
-// entries already present, and shards at capacity. It returns the number
-// inserted. Importing never changes an existing memoized value: the
-// first entry for a key wins, matching the compute path's semantics.
-func (c *Cache) Import(entries []CacheEntry) (int, error) {
-	if c == nil {
-		return 0, fmt.Errorf("eval: cannot import into a nil cache")
+// Key returns the canonical signature bytes of the entry — the same
+// interned key the in-memory cache indexes by, and the content address
+// the on-disk store shards by. Equal minimization inputs have equal
+// keys whatever produced them.
+func (ent CacheEntry) Key() []byte { return buildCacheKey(ent) }
+
+// ImportStats breaks one Import down by outcome class, so a store load
+// that drops entries is debuggable instead of one lumped error: every
+// entry lands in exactly one of Inserted, Duplicate, Oversize, BadNV,
+// BadShape or BadCubes. Evicted counts previously memoized entries the
+// import displaced (budget pressure), on top of the per-entry classes.
+type ImportStats struct {
+	// Inserted entries are now memoized.
+	Inserted int
+	// Duplicate entries were already memoized (first wins; an import
+	// never changes an existing value, matching the compute path).
+	Duplicate int
+	// Oversize entries exceed the whole per-shard byte budget alone.
+	Oversize int
+	// BadNV entries declare a code length outside [1, cacheMaxNV].
+	BadNV int
+	// BadShape entries carry bitsets of the wrong word count for NV.
+	BadShape int
+	// BadCubes entries declare a negative cube count.
+	BadCubes int
+	// Evicted is the number of older memoized entries evicted to fit
+	// the inserted ones.
+	Evicted int
+}
+
+// Skipped is the total of entries not inserted, across every class.
+func (s ImportStats) Skipped() int {
+	return s.Duplicate + s.Oversize + s.BadNV + s.BadShape + s.BadCubes
+}
+
+// String renders the non-zero classes, for logs.
+func (s ImportStats) String() string {
+	out := fmt.Sprintf("inserted %d", s.Inserted)
+	for _, c := range []struct {
+		n    int
+		what string
+	}{
+		{s.Duplicate, "duplicate"}, {s.Oversize, "oversize"}, {s.BadNV, "bad-nv"},
+		{s.BadShape, "bad-shape"}, {s.BadCubes, "bad-cubes"}, {s.Evicted, "evicted"},
+	} {
+		if c.n > 0 {
+			out += fmt.Sprintf(", %s %d", c.what, c.n)
+		}
 	}
-	inserted := 0
-	for i, ent := range entries {
+	return out
+}
+
+// Import installs entries into the cache. Invalid entries are skipped
+// and counted per failure class — a malformed entry never aborts the
+// rest of the batch — and the only error is importing into a nil cache.
+// Importing never changes an existing memoized value: the first entry
+// for a key wins, matching the compute path's semantics.
+func (c *Cache) Import(entries []CacheEntry) (ImportStats, error) {
+	var st ImportStats
+	if c == nil {
+		return st, fmt.Errorf("eval: cannot import into a nil cache")
+	}
+	for _, ent := range entries {
 		if ent.NV < 1 || ent.NV > cacheMaxNV {
-			return inserted, fmt.Errorf("eval: entry %d: nv %d outside [1, %d]", i, ent.NV, cacheMaxNV)
+			st.BadNV++
+			continue
 		}
 		if w := entryWords(ent.NV); len(ent.Used) != w || len(ent.On) != w {
-			return inserted, fmt.Errorf("eval: entry %d: bitset words %d/%d, want %d",
-				i, len(ent.Used), len(ent.On), w)
+			st.BadShape++
+			continue
 		}
 		if ent.Cubes < 0 {
-			return inserted, fmt.Errorf("eval: entry %d: negative cube count %d", i, ent.Cubes)
+			st.BadCubes++
+			continue
 		}
 		key := buildCacheKey(ent)
 		sh := &c.shards[fnvShard(key)]
-		sh.mu.Lock()
-		if _, exists := sh.m[string(key)]; !exists && len(sh.m) < cacheShardCap {
-			sh.m[string(key)] = ent.Cubes
-			inserted++
+		inserted, evicted, freed := sh.insertLocked(key, ent.Cubes, c.shardBudget)
+		dup := !inserted && int64(len(key))+entryBytesOverhead <= c.shardBudget
+		switch {
+		case inserted:
+			st.Inserted++
+			st.Evicted += evicted
+			noteInsert(int64(len(key))+entryBytesOverhead, evicted, freed)
+		case dup:
+			st.Duplicate++
+		default:
+			st.Oversize++
 		}
-		sh.mu.Unlock()
 	}
-	if inserted > 0 {
-		gCacheLen.Set(int64(c.Len()))
-	}
-	return inserted, nil
+	return st, nil
 }

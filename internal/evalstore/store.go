@@ -1,0 +1,421 @@
+// Package evalstore is the persistent, content-addressed tier behind
+// eval.Cache: minimization results keyed by the canonical (policy, nv,
+// ON-bitset, used-bitset) signature, stored on disk so repeated corpora
+// hit warm across runs and across machines. A memoized count is a pure
+// function of its key, so the store can never change an answer — only
+// replace an espresso run with a disk read.
+//
+// Layout under the store directory:
+//
+//	shard-00.ir … shard-0f.ir   compacted picola-ir/v1 CacheEntries
+//	                            containers, entries assigned to shards
+//	                            by FNV-1a of their canonical key
+//	wal.irlog                   the append journal: length+CRC frames
+//	                            (internal/ir framing), each payload one
+//	                            picola-ir/v1 CacheEntries container
+//
+// The write cycle is append-then-atomic-rename: new entries are framed
+// and appended to the WAL (one Write call per frame), and Compact folds
+// shards + WAL into freshly written shard files — each written to a
+// temp file and atomically renamed into place — before truncating the
+// WAL. A crash at any point loses at most the torn tail of the WAL:
+// compaction truncates the journal only after every shard rename, so an
+// interrupted cycle leaves duplicate entries (harmless — first wins),
+// never missing ones.
+//
+// Loads are crash-safe by construction: a torn or corrupt shard file or
+// WAL frame is skipped and counted, never fatal. Dropping cache entries
+// costs recomputation time only.
+package evalstore
+
+import (
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"picola/internal/eval"
+	"picola/internal/ir"
+	"picola/internal/obs"
+)
+
+// Store metrics: entries read at load (before dedup/import), shard
+// files and WAL frames skipped as corrupt, entries appended to the WAL,
+// entries written by the last compaction, and the current on-disk
+// entry count.
+var (
+	mLoadEntries  = obs.Default.Counter("evalstore.load.entries")
+	mLoadSkipped  = obs.Default.Counter("evalstore.load.skipped_shards")
+	mLoadBadFrame = obs.Default.Counter("evalstore.load.bad_frames")
+	mAppended     = obs.Default.Counter("evalstore.append.entries")
+	mCompacted    = obs.Default.Counter("evalstore.compact.entries")
+	gEntries      = obs.Default.Gauge("evalstore.entries")
+)
+
+const (
+	// storeShards is the on-disk shard fan-out. Sixteen files keep any
+	// one compaction write small without turning a corpus cache into a
+	// directory of thousands of files.
+	storeShards = 16
+	walName     = "wal.irlog"
+)
+
+func shardName(i int) string { return fmt.Sprintf("shard-%02x.ir", i) }
+
+// shardOf assigns a canonical key to an on-disk shard (FNV-1a). The
+// assignment is part of the layout: every process sharding the same key
+// space places every entry in the same file.
+func shardOf(key []byte) int {
+	h := fnv.New64a()
+	_, _ = h.Write(key) // hash.Hash.Write is documented to never fail
+	return int(h.Sum64() % storeShards)
+}
+
+// Store is one on-disk cache directory. All methods are safe for
+// concurrent use within a process; cross-process writers are safe
+// against each other only for Append (O_APPEND frames), so compaction
+// should be left to one process at a time (the batch runner compacts at
+// exit).
+type Store struct {
+	dir string
+
+	mu sync.Mutex
+	// known holds the canonical keys believed to be on disk (loaded or
+	// appended by this process); Append uses it to write only novel
+	// entries.
+	known map[string]struct{}
+	wal   *os.File
+}
+
+// Open opens (creating if needed) a store directory.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("evalstore: %w", err)
+	}
+	return &Store{dir: dir, known: make(map[string]struct{})}, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Close releases the WAL handle (if any append opened it).
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil {
+		return nil
+	}
+	err := s.wal.Close()
+	s.wal = nil
+	return err
+}
+
+// LoadStats describes one Load: what was read, what was skipped per
+// failure class, and how the import into the in-memory tier went.
+type LoadStats struct {
+	// ShardFiles is the number of shard files read successfully.
+	ShardFiles int
+	// SkippedShards counts shard files present but unreadable or
+	// corrupt — skipped, their entries lost to recomputation.
+	SkippedShards int
+	// WALFrames counts valid WAL frames read.
+	WALFrames int
+	// WALBadFrames counts frames whose payload was not a valid
+	// picola-ir/v1 container (skipped).
+	WALBadFrames int
+	// WALTornBytes is the length of the torn tail dropped from the WAL.
+	WALTornBytes int
+	// Entries is the number of distinct entries found on disk.
+	Entries int
+	// Import is the per-class outcome of installing them into the
+	// cache; zero when Load was given a nil cache.
+	Import eval.ImportStats
+}
+
+// Load reads every shard file and the WAL, deduplicates (first wins, in
+// shard order then WAL order), and imports the entries into c (skipped
+// when c is nil — useful to inventory a store). Torn or corrupt shard
+// files and WAL frames are counted and skipped, never fatal; the only
+// errors are environmental (an unreadable directory).
+func (s *Store) Load(c *eval.Cache) (LoadStats, error) {
+	entries, st, err := s.readAll()
+	if err != nil {
+		return st, err
+	}
+	if c != nil {
+		st.Import, err = c.Import(entries)
+		if err != nil {
+			return st, err
+		}
+	}
+	return st, nil
+}
+
+// readAll is the single disk-read path shared by Load, Entries, and
+// Compact: every distinct entry on disk (first wins, shard order then
+// WAL order) plus the skip accounting, with no in-memory cache bound
+// applied.
+func (s *Store) readAll() ([]eval.CacheEntry, LoadStats, error) {
+	var st LoadStats
+	var entries []eval.CacheEntry
+	seen := make(map[string]struct{})
+	add := func(batch []eval.CacheEntry) {
+		for _, ent := range batch {
+			k := string(ent.Key())
+			if _, dup := seen[k]; dup {
+				continue
+			}
+			seen[k] = struct{}{}
+			entries = append(entries, ent)
+		}
+	}
+	for i := 0; i < storeShards; i++ {
+		b, err := os.ReadFile(filepath.Join(s.dir, shardName(i)))
+		if os.IsNotExist(err) {
+			continue
+		}
+		if err != nil {
+			st.SkippedShards++
+			mLoadSkipped.Inc()
+			continue
+		}
+		f, err := ir.Unmarshal(b)
+		if err != nil {
+			st.SkippedShards++
+			mLoadSkipped.Inc()
+			continue
+		}
+		st.ShardFiles++
+		add(f.CacheEntries)
+	}
+	wal, err := os.ReadFile(filepath.Join(s.dir, walName))
+	if err != nil && !os.IsNotExist(err) {
+		return nil, st, fmt.Errorf("evalstore: %w", err)
+	}
+	payloads, clean := ir.ScanFrames(wal)
+	st.WALTornBytes = len(wal) - clean
+	for _, p := range payloads {
+		f, err := ir.Unmarshal(p)
+		if err != nil {
+			st.WALBadFrames++
+			mLoadBadFrame.Inc()
+			continue
+		}
+		st.WALFrames++
+		add(f.CacheEntries)
+	}
+	st.Entries = len(entries)
+	mLoadEntries.Add(int64(len(entries)))
+	s.noteKnown(seen)
+	return entries, st, nil
+}
+
+// noteKnown merges freshly read keys into the known set under the lock.
+func (s *Store) noteKnown(seen map[string]struct{}) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for k := range seen {
+		s.known[k] = struct{}{}
+	}
+	gEntries.Set(int64(len(s.known)))
+}
+
+// appendChunkEntries bounds one WAL frame's entry count. Chunking keeps
+// every frame far inside the decoder's section caps — a corpus sweep
+// can export millions of entries in one Append — and bounds the peak
+// marshal buffer. A var so tests can exercise the multi-frame path with
+// small batches.
+var appendChunkEntries = 1 << 16
+
+// Append frames the entries not already known to be on disk and appends
+// them to the WAL in canonical key order, chunked into frames of at
+// most appendChunkEntries, returning how many entries were written.
+// Appending is the cheap end of the compaction cycle: O_APPEND frame
+// writes, no rewrite of any shard. A failure mid-way leaves the already
+// written frames valid — the next load deduplicates.
+func (s *Store) Append(entries []eval.CacheEntry) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	type keyed struct {
+		key string
+		ent eval.CacheEntry
+	}
+	var fresh []keyed
+	for _, ent := range entries {
+		k := string(ent.Key())
+		if _, ok := s.known[k]; ok {
+			continue
+		}
+		fresh = append(fresh, keyed{k, ent})
+	}
+	if len(fresh) == 0 {
+		return 0, nil
+	}
+	sort.Slice(fresh, func(i, j int) bool { return fresh[i].key < fresh[j].key })
+	if s.wal == nil {
+		f, err := os.OpenFile(filepath.Join(s.dir, walName),
+			os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			return 0, fmt.Errorf("evalstore: %w", err)
+		}
+		s.wal = f
+	}
+	written := 0
+	for len(fresh) > 0 {
+		batch := fresh
+		if len(batch) > appendChunkEntries {
+			batch = batch[:appendChunkEntries]
+		}
+		ents := make([]eval.CacheEntry, len(batch))
+		for i, kv := range batch {
+			ents[i] = kv.ent
+		}
+		payload, err := ir.Marshal(&ir.File{CacheEntries: ents})
+		if err != nil {
+			return written, fmt.Errorf("evalstore: %w", err)
+		}
+		if err := ir.WriteFrame(s.wal, payload); err != nil {
+			return written, fmt.Errorf("evalstore: %w", err)
+		}
+		for _, kv := range batch {
+			s.known[kv.key] = struct{}{}
+		}
+		written += len(batch)
+		fresh = fresh[len(batch):]
+	}
+	mAppended.Add(int64(written))
+	gEntries.Set(int64(len(s.known)))
+	return written, nil
+}
+
+// CompactStats describes one compaction.
+type CompactStats struct {
+	// Entries is the distinct entry count written across the shards.
+	Entries int
+	// ShardFiles is the number of shard files written.
+	ShardFiles int
+	// WALBytes is the journal size reclaimed by the truncation.
+	WALBytes int64
+	// KeptWAL reports that the journal was NOT truncated because it
+	// still holds CRC-valid frames this decoder could not parse —
+	// likely written by a different version. Truncating would destroy
+	// the only copy of their entries; a torn tail (crash debris) never
+	// sets this.
+	KeptWAL bool
+}
+
+// Compact folds the shard files and the WAL into freshly written shard
+// files — each marshalled as one canonical picola-ir/v1 container,
+// written to a temp file in the store directory and atomically renamed
+// into place — then truncates the WAL. Unreadable inputs are skipped
+// exactly as in Load, except that a CRC-valid WAL frame the decoder
+// rejects keeps the journal in place (see CompactStats.KeptWAL). A
+// crash mid-compaction is safe at every point: the WAL still holds
+// everything not yet renamed, and duplicate entries between an old WAL
+// and new shards deduplicate on the next load.
+func (s *Store) Compact() (CompactStats, error) {
+	var st CompactStats
+	entries, ls, err := s.readAll()
+	if err != nil {
+		return st, err
+	}
+	byShard := make([][]eval.CacheEntry, storeShards)
+	keysByShard := make([][]string, storeShards)
+	for _, ent := range entries {
+		k := ent.Key()
+		i := shardOf(k)
+		byShard[i] = append(byShard[i], ent)
+		keysByShard[i] = append(keysByShard[i], string(k))
+	}
+	for i, batch := range byShard {
+		if len(batch) == 0 {
+			continue
+		}
+		keys := keysByShard[i]
+		sort.Sort(&keyedEntries{keys: keys, ents: batch})
+		payload, err := ir.Marshal(&ir.File{CacheEntries: batch})
+		if err != nil {
+			return st, fmt.Errorf("evalstore: shard %d: %w", i, err)
+		}
+		tmp, err := os.CreateTemp(s.dir, shardName(i)+".tmp-*")
+		if err != nil {
+			return st, fmt.Errorf("evalstore: %w", err)
+		}
+		_, werr := tmp.Write(payload)
+		cerr := tmp.Close()
+		if werr != nil || cerr != nil {
+			_ = os.Remove(tmp.Name())
+			return st, fmt.Errorf("evalstore: shard %d: write %v, close %v", i, werr, cerr)
+		}
+		if err := os.Rename(tmp.Name(), filepath.Join(s.dir, shardName(i))); err != nil {
+			_ = os.Remove(tmp.Name())
+			return st, fmt.Errorf("evalstore: %w", err)
+		}
+		st.ShardFiles++
+		st.Entries += len(batch)
+	}
+	// Every readable entry is now in a renamed shard. The journal is
+	// redundant — unless it holds CRC-valid frames this decoder rejected
+	// (a writer or version bug, not crash debris): those entries exist
+	// nowhere else, so keep the journal for a future binary to recover.
+	if ls.WALBadFrames > 0 {
+		st.KeptWAL = true
+		mCompacted.Add(int64(st.Entries))
+		return st, nil
+	}
+	walPath := filepath.Join(s.dir, walName)
+	if fi, err := os.Stat(walPath); err == nil {
+		st.WALBytes = fi.Size()
+	}
+	if err := s.truncateWAL(walPath); err != nil {
+		return st, fmt.Errorf("evalstore: %w", err)
+	}
+	mCompacted.Add(int64(st.Entries))
+	return st, nil
+}
+
+// keyedEntries sorts an entry slice by a parallel precomputed key
+// slice, keeping both aligned.
+type keyedEntries struct {
+	keys []string
+	ents []eval.CacheEntry
+}
+
+func (k *keyedEntries) Len() int           { return len(k.keys) }
+func (k *keyedEntries) Less(i, j int) bool { return k.keys[i] < k.keys[j] }
+func (k *keyedEntries) Swap(i, j int) {
+	k.keys[i], k.keys[j] = k.keys[j], k.keys[i]
+	k.ents[i], k.ents[j] = k.ents[j], k.ents[i]
+}
+
+// truncateWAL empties the journal (through the open handle when one
+// exists, so subsequent appends keep working) under the lock.
+func (s *Store) truncateWAL(walPath string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal != nil {
+		return s.wal.Truncate(0)
+	}
+	if err := os.Truncate(walPath, 0); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
+}
+
+// Entries returns every distinct entry on disk in canonical key order
+// (the inventory view; unreadable inputs skipped as in Load, and no
+// in-memory cache bound applied — the full store is always returned).
+func (s *Store) Entries() ([]eval.CacheEntry, error) {
+	entries, _, err := s.readAll()
+	if err != nil {
+		return nil, err
+	}
+	keys := make([]string, len(entries))
+	for i := range entries {
+		keys[i] = string(entries[i].Key())
+	}
+	sort.Sort(&keyedEntries{keys: keys, ents: entries})
+	return entries, nil
+}

@@ -1,0 +1,81 @@
+package ir
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// TestFrameRoundTrip: frames written back to back scan back in order,
+// and the clean offset covers the whole journal.
+func TestFrameRoundTrip(t *testing.T) {
+	payloads := [][]byte{[]byte("alpha"), {}, []byte("gamma-longer-payload"), {0, 1, 2, 255}}
+	var journal []byte
+	for _, p := range payloads {
+		journal = AppendFrame(journal, p)
+	}
+	got, clean := ScanFrames(journal)
+	if clean != len(journal) {
+		t.Fatalf("clean prefix %d, want %d", clean, len(journal))
+	}
+	if len(got) != len(payloads) {
+		t.Fatalf("scanned %d frames, want %d", len(got), len(payloads))
+	}
+	for i := range payloads {
+		if !bytes.Equal(got[i], payloads[i]) {
+			t.Errorf("frame %d: got %q want %q", i, got[i], payloads[i])
+		}
+	}
+}
+
+// TestFrameWriteFrame: WriteFrame and AppendFrame produce identical
+// bytes, and one oversized payload is rejected up front.
+func TestFrameWriteFrame(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if want := AppendFrame(nil, []byte("payload")); !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("WriteFrame bytes differ from AppendFrame")
+	}
+}
+
+// TestFrameTornTail: a journal cut mid-frame yields the intact prefix
+// and reports the tear offset; the torn bytes are never returned.
+func TestFrameTornTail(t *testing.T) {
+	full := AppendFrame(AppendFrame(nil, []byte("first")), []byte("second"))
+	wantClean := len(AppendFrame(nil, []byte("first")))
+	for cut := wantClean + 1; cut < len(full); cut++ {
+		got, clean := ScanFrames(full[:cut])
+		if len(got) != 1 || string(got[0]) != "first" {
+			t.Fatalf("cut %d: scanned %d frames", cut, len(got))
+		}
+		if clean != wantClean {
+			t.Fatalf("cut %d: clean %d, want %d", cut, clean, wantClean)
+		}
+	}
+}
+
+// TestFrameCorruptCRC: a payload bit-flip stops the scan at that frame.
+func TestFrameCorruptCRC(t *testing.T) {
+	j := AppendFrame(AppendFrame(nil, []byte("keep")), []byte("flip"))
+	j[len(j)-1] ^= 0x40
+	got, clean := ScanFrames(j)
+	if len(got) != 1 || string(got[0]) != "keep" {
+		t.Fatalf("scanned %d frames past a CRC mismatch", len(got))
+	}
+	if clean != len(AppendFrame(nil, []byte("keep"))) {
+		t.Fatalf("clean %d past a CRC mismatch", clean)
+	}
+}
+
+// TestFrameHostileLength: a corrupt length field larger than the limit
+// reads as a tear, not an allocation.
+func TestFrameHostileLength(t *testing.T) {
+	j := make([]byte, frameHeaderBytes)
+	binary.LittleEndian.PutUint32(j, uint32(MaxFrameBytes+1))
+	got, clean := ScanFrames(j)
+	if len(got) != 0 || clean != 0 {
+		t.Fatalf("hostile length scanned %d frames, clean %d", len(got), clean)
+	}
+}

@@ -14,7 +14,8 @@
 //	offset 16  section table: nsec × { type u32, length u64 }
 //	...        payloads, concatenated in table order, no padding
 //
-// Section types: 1 = Problem, 2 = Encoding, 3 = Audit, 4 = CacheEntries.
+// Section types: 1 = Problem, 2 = Encoding, 3 = Audit, 4 = CacheEntries,
+// 5 = BatchStat (checkpoint bookkeeping).
 // Unknown section types are skipped on read (room for v1-compatible
 // extensions); duplicate known sections, truncated payloads, trailing
 // bytes, and future versions are errors. Marshal writes sections in
@@ -44,13 +45,16 @@ const Magic = "PICOLAIR"
 // Version is the current (and only) format version.
 const Version = 1
 
-// Section types.
+// Section types. BatchStat (5) is a v1-compatible extension: a v1
+// reader predating it skips the section, which is exactly right — it
+// carries run bookkeeping, never semantics.
 const (
 	secProblem  = 1
 	secEncoding = 2
 	secAudit    = 3
 	secCache    = 4
-	secKnownMax = secCache
+	secBatch    = 5
+	secKnownMax = secBatch
 )
 
 // Sentinel errors; every Unmarshal failure wraps exactly one of them.
@@ -76,6 +80,15 @@ type Audit struct {
 	SatisfiedCount int
 }
 
+// BatchStat is the per-instance bookkeeping of one batch-runner
+// checkpoint frame: the wall time the instance cost when it was first
+// computed. Replaying it from the journal is what lets a resumed run
+// report the whole corpus's summed wall without re-measuring (and keeps
+// the aggregate snapshot free of resume-dependent timing).
+type BatchStat struct {
+	WallNS int64
+}
+
 // File is the deserialized container. Nil fields mean the section is
 // absent; Marshal writes only present sections.
 type File struct {
@@ -83,6 +96,7 @@ type File struct {
 	Encoding     *face.Encoding
 	Audit        *Audit
 	CacheEntries []eval.CacheEntry
+	Batch        *BatchStat
 }
 
 // Limits defending Unmarshal against adversarial counts: each element of
@@ -94,6 +108,12 @@ const (
 	maxConstraints = 1 << 20
 	maxSections    = 1 << 10
 	maxEntryNV     = 16
+	// maxCacheEntries bounds one CacheEntries section. A corpus-scale
+	// store export legitimately reaches millions of entries, so the cap
+	// is wider than maxConstraints — and marshalCacheEntries enforces it
+	// symmetrically, so a writer can never emit a section its own reader
+	// would reject as corrupt.
+	maxCacheEntries = 1 << 24
 )
 
 // ---------------------------------------------------------------------
@@ -223,6 +243,10 @@ func marshalAudit(a *Audit) ([]byte, error) {
 }
 
 func marshalCacheEntries(entries []eval.CacheEntry) ([]byte, error) {
+	if len(entries) > maxCacheEntries {
+		return nil, fmt.Errorf("%w: %d cache entries exceeds limit %d",
+			ErrCorrupt, len(entries), maxCacheEntries)
+	}
 	var w writer
 	w.u32(uint32(len(entries)))
 	for i, ent := range entries {
@@ -291,6 +315,14 @@ func Marshal(f *File) ([]byte, error) {
 			return nil, err
 		}
 		secs = append(secs, section{secCache, p})
+	}
+	if f.Batch != nil {
+		if f.Batch.WallNS < 0 {
+			return nil, fmt.Errorf("%w: negative batch wall %d", ErrCorrupt, f.Batch.WallNS)
+		}
+		var bw writer
+		bw.u64(uint64(f.Batch.WallNS))
+		secs = append(secs, section{secBatch, bw.b})
 	}
 	if err := crossCheck(f); err != nil {
 		return nil, err
@@ -569,7 +601,7 @@ func unmarshalAudit(b []byte) (*Audit, error) {
 func unmarshalCacheEntries(b []byte) ([]eval.CacheEntry, error) {
 	r := &reader{b: b}
 	// Smallest legal entry: 2 header bytes + one word per bitset + count.
-	n, err := r.count("cache entries", maxConstraints, 2+16+4)
+	n, err := r.count("cache entries", maxCacheEntries, 2+16+4)
 	if err != nil {
 		return nil, err
 	}
@@ -618,6 +650,22 @@ func unmarshalCacheEntries(b []byte) ([]eval.CacheEntry, error) {
 		return nil, err
 	}
 	return entries, nil
+}
+
+func unmarshalBatch(b []byte) (*BatchStat, error) {
+	r := &reader{b: b}
+	wall, err := r.u64()
+	if err != nil {
+		return nil, err
+	}
+	const maxInt64 = uint64(1)<<63 - 1
+	if wall > maxInt64 {
+		return nil, fmt.Errorf("%w: batch wall %d overflows int64", ErrCorrupt, wall)
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return &BatchStat{WallNS: int64(wall)}, nil
 }
 
 // done rejects trailing bytes after a fully parsed payload.
@@ -712,6 +760,10 @@ func Unmarshal(b []byte) (*File, error) {
 			}
 		case secCache:
 			if f.CacheEntries, err = unmarshalCacheEntries(payload); err != nil {
+				return nil, err
+			}
+		case secBatch:
+			if f.Batch, err = unmarshalBatch(payload); err != nil {
 				return nil, err
 			}
 		default:

@@ -111,6 +111,10 @@ func TestRoundTripSubsets(t *testing.T) {
 		"empty":         {},
 		"empty-cache":   {CacheEntries: []eval.CacheEntry{}},
 		"problem-run":   {Problem: full.Problem, Encoding: full.Encoding, Audit: full.Audit},
+		"batch-only":    {Batch: &BatchStat{WallNS: 123456789}},
+		"batch-zero":    {Batch: &BatchStat{}},
+		"checkpoint": {Problem: full.Problem, Encoding: full.Encoding,
+			Audit: full.Audit, Batch: &BatchStat{WallNS: 42}},
 	}
 	for name, f := range cases {
 		t.Run(name, func(t *testing.T) {
@@ -151,12 +155,12 @@ func TestRoundTripCacheExport(t *testing.T) {
 		t.Fatal(err)
 	}
 	fresh := eval.NewCache()
-	inserted, err := fresh.Import(got.CacheEntries)
+	st, err := fresh.Import(got.CacheEntries)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if inserted != len(entries) {
-		t.Fatalf("imported %d of %d entries", inserted, len(entries))
+	if st.Inserted != len(entries) || st.Skipped() != 0 {
+		t.Fatalf("imported %d of %d entries (%v)", st.Inserted, len(entries), st)
 	}
 	if fresh.Len() != cache.Len() {
 		t.Fatalf("cache length %d after import, want %d", fresh.Len(), cache.Len())
@@ -317,16 +321,31 @@ func TestRejectOutOfRangeConstraintBit(t *testing.T) {
 
 func TestImportRejectsInvalidEntries(t *testing.T) {
 	cache := eval.NewCache()
-	cases := []eval.CacheEntry{
-		{NV: 0, Used: []uint64{}, On: []uint64{}},
-		{NV: 13, Used: []uint64{1}, On: []uint64{1}},
-		{NV: 4, Used: []uint64{1, 2}, On: []uint64{1}},
-		{NV: 4, Used: []uint64{1}, On: []uint64{1}, Cubes: -1},
+	cases := []struct {
+		ent   eval.CacheEntry
+		class func(eval.ImportStats) int
+		name  string
+	}{
+		{eval.CacheEntry{NV: 0, Used: []uint64{}, On: []uint64{}},
+			func(s eval.ImportStats) int { return s.BadNV }, "bad-nv (0)"},
+		{eval.CacheEntry{NV: 13, Used: []uint64{1}, On: []uint64{1}},
+			func(s eval.ImportStats) int { return s.BadNV }, "bad-nv (13)"},
+		{eval.CacheEntry{NV: 4, Used: []uint64{1, 2}, On: []uint64{1}},
+			func(s eval.ImportStats) int { return s.BadShape }, "bad-shape"},
+		{eval.CacheEntry{NV: 4, Used: []uint64{1}, On: []uint64{1}, Cubes: -1},
+			func(s eval.ImportStats) int { return s.BadCubes }, "bad-cubes"},
 	}
-	for i, ent := range cases {
-		if _, err := cache.Import([]eval.CacheEntry{ent}); err == nil {
-			t.Errorf("case %d: invalid entry imported", i)
+	for i, tc := range cases {
+		st, err := cache.Import([]eval.CacheEntry{tc.ent})
+		if err != nil {
+			t.Fatalf("case %d (%s): %v", i, tc.name, err)
 		}
+		if st.Inserted != 0 || st.Skipped() != 1 || tc.class(st) != 1 {
+			t.Errorf("case %d (%s): stats %v, want exactly one skip in its class", i, tc.name, st)
+		}
+	}
+	if cache.Len() != 0 {
+		t.Errorf("invalid entries left %d memoized", cache.Len())
 	}
 	if _, err := (*eval.Cache)(nil).Import(nil); err == nil {
 		t.Error("nil cache import succeeded")

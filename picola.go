@@ -322,15 +322,20 @@ func ExportCache(c *Cache) ([]byte, error) {
 	return ir.Marshal(&ir.File{CacheEntries: entries})
 }
 
+// CacheImportStats is the per-failure-class breakdown of one cache
+// import (see eval.ImportStats).
+type CacheImportStats = eval.ImportStats
+
 // ImportCache installs the entries of an ExportCache blob into the
-// cache, returning the number inserted (existing entries are kept).
-func ImportCache(c *Cache, b []byte) (int, error) {
+// cache, returning the per-class import breakdown (existing entries are
+// kept; invalid ones are skipped and counted, never fatal).
+func ImportCache(c *Cache, b []byte) (CacheImportStats, error) {
 	if c == nil {
-		return 0, fmt.Errorf("picola: cannot import into a nil cache")
+		return CacheImportStats{}, fmt.Errorf("picola: cannot import into a nil cache")
 	}
 	f, err := ir.Unmarshal(b)
 	if err != nil {
-		return 0, err
+		return CacheImportStats{}, err
 	}
 	return c.Import(f.CacheEntries)
 }

@@ -50,20 +50,36 @@ go test -run TestAllocs -count=1 ./internal/eval ./internal/core
 tables_tmp=$(mktemp /tmp/picola-bench.XXXXXX.json)
 ledger_tmp=$(mktemp /tmp/picola-ledger.XXXXXX.json)
 go run ./cmd/tables -table 1 -json "$tables_tmp" -ledger "$ledger_tmp" >/dev/null
-go run ./cmd/tables -diff BENCH_3.json "$tables_tmp"
+go run ./cmd/tables -diff BENCH_4.json "$tables_tmp"
 grep -q '"schema": "picola-ledger/v1"' "$ledger_tmp"
 
 # Regression-comparator self-consistency: obsdiff of a snapshot against
 # itself must exit 0 for both input kinds, whatever the thresholds.
 go run ./cmd/obsdiff "$ledger_tmp" "$ledger_tmp"
-go run ./cmd/obsdiff BENCH_3.json BENCH_3.json
+go run ./cmd/obsdiff BENCH_4.json BENCH_4.json
 
-# Cross-snapshot trajectory gate: the committed BENCH_2 -> BENCH_3 step
-# (the set-algebra classify / multi-word kernel / warm-start PR) must show
-# no wall regression. Sub-15ms measurements sit inside the container's
+# Cross-snapshot trajectory gates: each committed baseline step must
+# show no wall regression — BENCH_2 -> BENCH_3 (set-algebra classify /
+# multi-word kernels / warm-start) and BENCH_3 -> BENCH_4 (estimate-
+# polish scratch buffers, don't-look candidate memory, split fusion,
+# cache hot-path trim). Sub-15ms measurements sit inside the container's
 # timer noise and are skipped; the large rows carry the signal.
 go run ./cmd/obsdiff -min-ns 15000000 BENCH_2.json BENCH_3.json
+go run ./cmd/obsdiff -min-ns 15000000 BENCH_3.json BENCH_4.json
 rm -f "$tables_tmp" "$ledger_tmp"
+
+# Corpus-batch smoke: generate a small fixed-seed corpus, run it cold
+# against a fresh store, then warm against the populated store. The two
+# aggregate snapshots must be byte-identical (the cache may change wall
+# time, never a measurement) and the warm pass must actually reuse the
+# store (zero newly appended entries).
+batch_dir=$(mktemp -d /tmp/picola-batch.XXXXXX)
+go run ./cmd/batch -gen -seed 7 -count 100 -max-symbols 14 "$batch_dir/corpus" >/dev/null
+go run ./cmd/batch -store "$batch_dir/store" -json "$batch_dir/cold.json" "$batch_dir/corpus" >/dev/null
+go run ./cmd/batch -store "$batch_dir/store" -json "$batch_dir/warm.json" "$batch_dir/corpus" >/dev/null
+cmp "$batch_dir/cold.json" "$batch_dir/warm.json"
+go run ./cmd/tables -diff "$batch_dir/cold.json" "$batch_dir/warm.json"
+rm -rf "$batch_dir"
 
 # Introspection-server smoke: run a sweep with -http on an ephemeral
 # port, scrape /healthz and /metrics while it serves, and check that the
